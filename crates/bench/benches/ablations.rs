@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §6:
+//!
+//! 1. two-queue vs array-of-queues RBP (paper §III, closing remark);
+//! 2. the admissible wire feasibility bound on vs off (the mechanism the
+//!    paper credits for RBP's speed advantage at small periods);
+//! 3. latch routing overhead vs RBP (3-D vs 2-D pruning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clockroute_bench::paper_setup;
+use clockroute_core::{LatchSpec, RbpSpec, RbpVariant};
+use clockroute_geom::units::Time;
+
+fn bench_queue_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbp_queue_variant");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, tech, lib, s, t) = paper_setup(50);
+    for (name, variant) in [
+        ("two_queue", RbpVariant::TwoQueue),
+        ("queue_array", RbpVariant::QueueArray),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &variant, |b, &v| {
+            b.iter(|| {
+                let sol = RbpSpec::new(&graph, &tech, &lib)
+                    .source(s)
+                    .sink(t)
+                    .period(Time::from_ps(300.0))
+                    .variant(v)
+                    .solve()
+                    .unwrap();
+                black_box(sol.latency())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbp_wire_bound");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, tech, lib, s, t) = paper_setup(50);
+    for (name, enabled) in [("bound_on", true), ("bound_off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enabled, |b, &e| {
+            b.iter(|| {
+                let sol = RbpSpec::new(&graph, &tech, &lib)
+                    .source(s)
+                    .sink(t)
+                    .period(Time::from_ps(300.0))
+                    .wire_bound(e)
+                    .solve()
+                    .unwrap();
+                black_box(sol.stats().configs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_latch_vs_rbp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latch_vs_rbp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, tech, lib, s, t) = paper_setup(50);
+    group.bench_function("rbp", |b| {
+        b.iter(|| {
+            let sol = RbpSpec::new(&graph, &tech, &lib)
+                .source(s)
+                .sink(t)
+                .period(Time::from_ps(300.0))
+                .solve()
+                .unwrap();
+            black_box(sol.register_count())
+        })
+    });
+    group.bench_function("latch_borrow_60ps", |b| {
+        b.iter(|| {
+            let sol = LatchSpec::new(&graph, &tech, &lib)
+                .source(s)
+                .sink(t)
+                .period(Time::from_ps(300.0))
+                .borrow_window(Time::from_ps(60.0))
+                .solve()
+                .unwrap();
+            black_box(sol.latch_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_variants, bench_wire_bound, bench_latch_vs_rbp);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion benches for the three algorithms (E8): run-time scaling with
+//! grid size and clock period, reproducing the complexity trends of the
+//! paper (`O(nNk² log Nk)` — work shrinks as the period tightens because
+//! the one-cycle reachable neighbourhood `N` shrinks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clockroute_bench::paper_setup;
+use clockroute_core::{FastPathSpec, GalsSpec, RbpSpec};
+use clockroute_geom::units::Time;
+
+fn bench_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for grid in [25u32, 50, 75] {
+        let (graph, tech, lib, s, t) = paper_setup(grid);
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| {
+                let sol = FastPathSpec::new(&graph, &tech, &lib)
+                    .source(s)
+                    .sink(t)
+                    .solve()
+                    .unwrap();
+                black_box(sol.delay())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rbp_periods(c: &mut Criterion) {
+    // Paper §V-A obs. 2–3: RBP gets *faster* as the period shrinks.
+    let mut group = c.benchmark_group("rbp_period");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, tech, lib, s, t) = paper_setup(50);
+    for period in [1371.0f64, 686.0, 343.0, 120.0, 84.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(period as u64),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    let sol = RbpSpec::new(&graph, &tech, &lib)
+                        .source(s)
+                        .sink(t)
+                        .period(Time::from_ps(period))
+                        .solve()
+                        .unwrap();
+                    black_box(sol.latency())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rbp_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbp_grid");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for grid in [25u32, 50, 75] {
+        let (graph, tech, lib, s, t) = paper_setup(grid);
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| {
+                let sol = RbpSpec::new(&graph, &tech, &lib)
+                    .source(s)
+                    .sink(t)
+                    .period(Time::from_ps(343.0))
+                    .solve()
+                    .unwrap();
+                black_box(sol.register_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gals");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let (graph, tech, lib, s, t) = paper_setup(50);
+    for (ts, tt) in [(300.0f64, 300.0f64), (200.0, 300.0), (300.0, 400.0)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ts}-{tt}")),
+            &(ts, tt),
+            |b, &(ts, tt)| {
+                b.iter(|| {
+                    let sol = GalsSpec::new(&graph, &tech, &lib)
+                        .source(s)
+                        .sink(t)
+                        .periods(Time::from_ps(ts), Time::from_ps(tt))
+                        .solve()
+                        .unwrap();
+                    black_box(sol.latency())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fastpath,
+    bench_rbp_periods,
+    bench_rbp_grids,
+    bench_gals
+);
+criterion_main!(benches);

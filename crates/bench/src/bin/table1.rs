@@ -1,0 +1,46 @@
+//! Regenerates **Table I** (E1): RBP statistics as a function of `T_φ` on
+//! the 200×200 grid (0.125 mm separation, terminals 40 mm apart), plus
+//! the §V-A trend verdicts (E6).
+//!
+//! Usage: `cargo run --release -p clockroute-bench --bin table1 [grid]`
+//! (default grid 200; pass e.g. 100 for a quicker run).
+
+use clockroute_bench::{format_table1, table1, trends, PAPER_PERIODS};
+
+fn main() {
+    let grid: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    eprintln!("# Table I reproduction — {grid}×{grid} grid, terminals 40 mm apart");
+    eprintln!("# (paper columns shown beside measured values)\n");
+    let rows = table1(grid, &PAPER_PERIODS);
+    println!("{}", format_table1(&rows));
+
+    let v = trends(&rows);
+    println!("\n## §V-A observation verdicts (E6)");
+    println!(
+        "- obs.1 registers increase as T_phi decreases ............ {}",
+        verdict(v.registers_monotone)
+    );
+    println!(
+        "- obs.1 register separation decreases .................... {}",
+        verdict(v.reg_sep_monotone)
+    );
+    println!(
+        "- obs.2 configs examined decrease with T_phi ............. {}",
+        verdict(v.configs_decrease)
+    );
+    println!(
+        "- obs.3 RBP faster than fast path below a threshold ...... {}",
+        verdict(v.rbp_faster_below_threshold)
+    );
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "REPRODUCED"
+    } else {
+        "NOT reproduced"
+    }
+}

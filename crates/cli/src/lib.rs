@@ -1,0 +1,7 @@
+//! Library side of the `clockroute` CLI: the scenario file format.
+//!
+//! See [`scenario`] for the format specification and parser. The binary
+//! (`src/main.rs`) reads a scenario, plans every net through
+//! [`clockroute_plan::Planner`], and prints a report.
+
+pub mod scenario;

@@ -1,0 +1,106 @@
+//! `crplan` — command-line interconnect planner.
+//!
+//! ```text
+//! usage: crplan <scenario.cr> [--render] [--quiet]
+//! ```
+//!
+//! Reads a scenario file (see [`clockroute_cli::scenario`] for the
+//! format), plans every net with the optimal fast-path / RBP / GALS
+//! searches, and prints a per-net report plus aggregate statistics.
+//! `--render` additionally draws each routed net as ASCII art.
+
+use clockroute_cli::scenario;
+use clockroute_elmore::GateLibrary;
+use clockroute_grid::{render_grid, GridGraph, RenderOptions};
+use clockroute_plan::Planner;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let render = args.iter().any(|a| a == "--render");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: crplan <scenario.cr> [--render] [--quiet]");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (gw, gh) = scenario.grid;
+    let graph = GridGraph::from_floorplan(&scenario.floorplan, gw, gh);
+    let lib = GateLibrary::paper_library();
+    if !quiet {
+        let (px, py) = scenario.floorplan.pitch(gw, gh);
+        println!(
+            "# die {:.1}×{:.1} mm, grid {gw}×{gh} (pitch {:.3}×{:.3} mm), {} blocks, {} nets",
+            scenario.floorplan.die_width().mm(),
+            scenario.floorplan.die_height().mm(),
+            px.mm(),
+            py.mm(),
+            scenario.floorplan.blocks().len(),
+            scenario.nets.len()
+        );
+    }
+
+    let planner = Planner::new(graph.clone(), scenario.tech, lib.clone())
+        .reserve_routes(scenario.reserve);
+    let plan = planner.plan(&scenario.nets);
+
+    for result in plan.results() {
+        println!("{result}");
+        if render {
+            if let Some(path) = &result.path {
+                let mut labels = vec![(path.source(), 'S'), (path.sink(), 'T')];
+                for (pt, gate) in path.gates() {
+                    if pt != path.source() && pt != path.sink() {
+                        let c = match lib.gate(gate).kind() {
+                            clockroute_elmore::GateKind::Buffer => 'B',
+                            clockroute_elmore::GateKind::McFifo => 'F',
+                            _ => 'R',
+                        };
+                        labels.push((pt, c));
+                    }
+                }
+                println!(
+                    "{}",
+                    render_grid(
+                        &graph,
+                        Some(&path.grid_path()),
+                        &labels,
+                        &RenderOptions::default()
+                    )
+                );
+            }
+        }
+    }
+
+    let failed = plan.failed().count();
+    if !quiet {
+        println!(
+            "# routed {}/{} nets, {:.1} mm total wire, {} synchronizers, max depth {} cycles",
+            plan.routed().count(),
+            plan.results().len(),
+            plan.total_wirelength().mm(),
+            plan.total_synchronizers(),
+            plan.max_cycles().unwrap_or(0)
+        );
+    }
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,368 @@
+//! The `.cr` scenario file format: a small, line-oriented description of
+//! a die, its blockages, and the global nets to plan.
+//!
+//! ```text
+//! # comments start with '#'
+//! die 25mm 25mm            # physical die size (mm or um suffix)
+//! grid 200 200             # routing grid resolution
+//! tech paper               # or: tech r=1.39 c=0.0100  (Ω/µm, fF/µm)
+//!
+//! # block <kind> <x0> <y0> <x1> <y1>   (grid coords, inclusive)
+//! block hard 40 40 80 90
+//! block obstacle 120 10 150 60
+//! block wiring 20 120 60 150
+//! block regkeepout 100 100 130 130
+//!
+//! # net <kind> name=<id> src=<x>,<y> dst=<x>,<y> [period=<ps>] [ts=<ps> tt=<ps>]
+//! net comb name=probe src=19,19 dst=179,179
+//! net reg  name=dbus  src=19,30 dst=179,160 period=343
+//! net gals name=xdom  src=30,19 dst=160,179 ts=300 tt=400
+//!
+//! reserve off              # optional: disable resource reservation
+//! ```
+
+use clockroute_elmore::Technology;
+use clockroute_geom::units::{CapPerLength, Length, ResPerLength, Time};
+use clockroute_geom::{BlockKind, Floorplan, Point, Rect};
+use clockroute_plan::NetSpec;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Die outline + blocks.
+    pub floorplan: Floorplan,
+    /// Grid resolution `(width, height)`.
+    pub grid: (u32, u32),
+    /// Technology parameters.
+    pub tech: Technology,
+    /// Nets to plan, in order.
+    pub nets: Vec<NetSpec>,
+    /// Whether routed nets reserve their resources.
+    pub reserve: bool,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseScenarioError {
+    ParseScenarioError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_length(tok: &str, line: usize) -> Result<Length, ParseScenarioError> {
+    if let Some(v) = tok.strip_suffix("mm") {
+        v.parse::<f64>()
+            .map(Length::from_mm)
+            .map_err(|_| err(line, format!("bad length `{tok}`")))
+    } else if let Some(v) = tok.strip_suffix("um") {
+        v.parse::<f64>()
+            .map(Length::from_um)
+            .map_err(|_| err(line, format!("bad length `{tok}`")))
+    } else {
+        Err(err(line, format!("length `{tok}` needs a mm/um suffix")))
+    }
+}
+
+fn parse_point(tok: &str, line: usize) -> Result<Point, ParseScenarioError> {
+    let (x, y) = tok
+        .split_once(',')
+        .ok_or_else(|| err(line, format!("bad point `{tok}` (expected x,y)")))?;
+    let x = x
+        .parse()
+        .map_err(|_| err(line, format!("bad x coordinate `{x}`")))?;
+    let y = y
+        .parse()
+        .map_err(|_| err(line, format!("bad y coordinate `{y}`")))?;
+    Ok(Point::new(x, y))
+}
+
+fn kv<'a>(tokens: &'a [&str], key: &str, line: usize) -> Result<&'a str, ParseScenarioError> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| err(line, format!("missing `{key}=...`")))
+}
+
+/// Parses a scenario from text.
+///
+/// # Errors
+///
+/// Returns the first [`ParseScenarioError`] encountered, with its line
+/// number. A scenario must declare `die` and `grid` and at least one
+/// `net`.
+pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
+    let mut die: Option<(Length, Length)> = None;
+    let mut grid: Option<(u32, u32)> = None;
+    let mut tech = Technology::paper_070nm();
+    let mut blocks: Vec<(Rect, BlockKind)> = Vec::new();
+    let mut nets: Vec<NetSpec> = Vec::new();
+    let mut reserve = true;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "die" => {
+                if tokens.len() != 3 {
+                    return Err(err(line_no, "usage: die <width> <height>"));
+                }
+                die = Some((
+                    parse_length(tokens[1], line_no)?,
+                    parse_length(tokens[2], line_no)?,
+                ));
+            }
+            "grid" => {
+                if tokens.len() != 3 {
+                    return Err(err(line_no, "usage: grid <w> <h>"));
+                }
+                let w = tokens[1]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad grid width"))?;
+                let h = tokens[2]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad grid height"))?;
+                grid = Some((w, h));
+            }
+            "tech" => {
+                if tokens.len() == 2 && tokens[1] == "paper" {
+                    tech = Technology::paper_070nm();
+                } else {
+                    let r: f64 = kv(&tokens, "r", line_no)?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad r value"))?;
+                    let c: f64 = kv(&tokens, "c", line_no)?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad c value"))?;
+                    if r <= 0.0 || c <= 0.0 {
+                        return Err(err(line_no, "tech parameters must be positive"));
+                    }
+                    tech = Technology::new(
+                        ResPerLength::from_ohms_per_um(r),
+                        CapPerLength::from_ff_per_um(c),
+                    );
+                }
+            }
+            "block" => {
+                if tokens.len() != 6 {
+                    return Err(err(line_no, "usage: block <kind> <x0> <y0> <x1> <y1>"));
+                }
+                let kind = match tokens[1] {
+                    "hard" => BlockKind::Hard,
+                    "obstacle" => BlockKind::Obstacle,
+                    "wiring" => BlockKind::WiringOnly,
+                    "regkeepout" => BlockKind::RegisterKeepout,
+                    other => return Err(err(line_no, format!("unknown block kind `{other}`"))),
+                };
+                let coords: Result<Vec<u32>, _> =
+                    tokens[2..6].iter().map(|t| t.parse::<u32>()).collect();
+                let coords =
+                    coords.map_err(|_| err(line_no, "block coordinates must be integers"))?;
+                blocks.push((
+                    Rect::new(
+                        Point::new(coords[0], coords[1]),
+                        Point::new(coords[2], coords[3]),
+                    ),
+                    kind,
+                ));
+            }
+            "net" => {
+                if tokens.len() < 2 {
+                    return Err(err(line_no, "usage: net <comb|reg|gals> ..."));
+                }
+                let name = kv(&tokens, "name", line_no)?.to_owned();
+                let src = parse_point(kv(&tokens, "src", line_no)?, line_no)?;
+                let dst = parse_point(kv(&tokens, "dst", line_no)?, line_no)?;
+                let net = match tokens[1] {
+                    "comb" => NetSpec::combinational(&name, src, dst),
+                    "reg" => {
+                        let period: f64 = kv(&tokens, "period", line_no)?
+                            .parse()
+                            .map_err(|_| err(line_no, "bad period"))?;
+                        NetSpec::registered(&name, src, dst, Time::from_ps(period))
+                    }
+                    "gals" => {
+                        let ts: f64 = kv(&tokens, "ts", line_no)?
+                            .parse()
+                            .map_err(|_| err(line_no, "bad ts"))?;
+                        let tt: f64 = kv(&tokens, "tt", line_no)?
+                            .parse()
+                            .map_err(|_| err(line_no, "bad tt"))?;
+                        NetSpec::gals(&name, src, dst, Time::from_ps(ts), Time::from_ps(tt))
+                    }
+                    other => return Err(err(line_no, format!("unknown net kind `{other}`"))),
+                };
+                nets.push(net);
+            }
+            "reserve" => {
+                reserve = match tokens.get(1).copied() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err(err(line_no, "usage: reserve on|off")),
+                };
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let (dw, dh) = die.ok_or_else(|| err(0, "missing `die` directive"))?;
+    let (gw, gh) = grid.ok_or_else(|| err(0, "missing `grid` directive"))?;
+    if gw == 0 || gh == 0 {
+        return Err(err(0, "grid dimensions must be non-zero"));
+    }
+    if nets.is_empty() {
+        return Err(err(0, "scenario declares no nets"));
+    }
+    let mut floorplan = Floorplan::new(dw, dh);
+    for (rect, kind) in blocks {
+        if rect.hi().x >= gw || rect.hi().y >= gh {
+            return Err(err(0, format!("block {rect} exceeds the {gw}×{gh} grid")));
+        }
+        floorplan.add_block(rect, kind);
+    }
+    for net in &nets {
+        for (what, p) in [("src", net.source), ("dst", net.sink)] {
+            if p.x >= gw || p.y >= gh {
+                return Err(err(0, format!("net `{}` {what} {p} is off-grid", net.name)));
+            }
+        }
+    }
+    Ok(Scenario {
+        floorplan,
+        grid: (gw, gh),
+        tech,
+        nets,
+        reserve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockroute_plan::NetKind;
+
+    const GOOD: &str = "\
+# demo scenario
+die 25mm 25mm
+grid 100 100
+tech paper
+
+block hard 40 40 60 60        # cpu macro
+block regkeepout 10 70 30 90
+
+net comb name=a src=5,5 dst=95,95
+net reg  name=b src=5,50 dst=95,50 period=343
+net gals name=c src=50,5 dst=50,95 ts=300 tt=400
+";
+
+    #[test]
+    fn parses_complete_scenario() {
+        let s = parse(GOOD).unwrap();
+        assert_eq!(s.grid, (100, 100));
+        assert_eq!(s.floorplan.blocks().len(), 2);
+        assert_eq!(s.nets.len(), 3);
+        assert!(s.reserve);
+        assert!(matches!(s.nets[0].kind, NetKind::Combinational));
+        assert!(matches!(s.nets[1].kind, NetKind::Registered { .. }));
+        assert!(matches!(s.nets[2].kind, NetKind::Gals { .. }));
+        assert_eq!(s.nets[1].source, Point::new(5, 50));
+    }
+
+    #[test]
+    fn custom_tech_and_reserve_off() {
+        let text = "die 10mm 10mm\ngrid 20 20\ntech r=2.0 c=0.02\nreserve off\nnet comb name=x src=0,0 dst=19,19\n";
+        let s = parse(text).unwrap();
+        assert!(!s.reserve);
+        assert!((s.tech.unit_res().ohms_per_um() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn um_lengths_accepted() {
+        let text = "die 5000um 5000um\ngrid 10 10\nnet comb name=x src=0,0 dst=9,9\n";
+        let s = parse(text).unwrap();
+        assert!((s.floorplan.die_width().mm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "die 25mm 25mm\ngrid 10 10\nblok hard 0 0 1 1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("blok"));
+        assert!(e.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn missing_required_fields() {
+        assert!(parse("grid 10 10\nnet comb name=x src=0,0 dst=9,9\n")
+            .unwrap_err()
+            .message
+            .contains("die"));
+        assert!(parse("die 1mm 1mm\nnet comb name=x src=0,0 dst=0,1\n")
+            .unwrap_err()
+            .message
+            .contains("grid"));
+        assert!(parse("die 1mm 1mm\ngrid 4 4\n")
+            .unwrap_err()
+            .message
+            .contains("no nets"));
+    }
+
+    #[test]
+    fn rejects_off_grid_references() {
+        let e = parse("die 1mm 1mm\ngrid 4 4\nblock hard 0 0 9 9\nnet comb name=x src=0,0 dst=3,3\n")
+            .unwrap_err();
+        assert!(e.message.contains("exceeds"));
+        let e = parse("die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=9,9\n").unwrap_err();
+        assert!(e.message.contains("off-grid"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse("die 25 25\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n")
+            .unwrap_err()
+            .message
+            .contains("suffix"));
+        assert!(parse("die 1mm 1mm\ngrid 4 4\nnet reg name=x src=0,0 dst=3,3\n")
+            .unwrap_err()
+            .message
+            .contains("period"));
+        assert!(
+            parse("die 1mm 1mm\ngrid 4 4\nnet comb name=x src=zero dst=3,3\n")
+                .unwrap_err()
+                .message
+                .contains("point")
+        );
+        assert!(parse("die 1mm 1mm\ngrid 4 4\ntech r=-1 c=0.1\nnet comb name=x src=0,0 dst=3,3\n")
+            .unwrap_err()
+            .message
+            .contains("positive"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hi\ndie 1mm 1mm # trailing\n\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n";
+        assert!(parse(text).is_ok());
+    }
+}

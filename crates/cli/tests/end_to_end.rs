@@ -1,0 +1,103 @@
+//! End-to-end CLI-layer tests: scenario text → parser → planner →
+//! validated results, plus parser robustness fuzzing.
+
+use clockroute_cli::scenario;
+use clockroute_core::drc;
+use clockroute_elmore::GateLibrary;
+use clockroute_grid::GridGraph;
+use clockroute_plan::{NetKind, Planner};
+use proptest::prelude::*;
+
+const SCENARIO: &str = "\
+die 12mm 12mm
+grid 24 24
+tech paper
+
+block hard 8 8 14 14
+block regkeepout 2 16 8 22
+
+net reg  name=east src=0,11 dst=23,11 period=400
+net gals name=south src=11,0 dst=11,23 ts=300 tt=350
+net comb name=diag src=0,0 dst=23,23
+";
+
+#[test]
+fn scenario_plans_and_passes_drc() {
+    let s = scenario::parse(SCENARIO).expect("valid scenario");
+    let (gw, gh) = s.grid;
+    let graph = GridGraph::from_floorplan(&s.floorplan, gw, gh);
+    let lib = GateLibrary::paper_library();
+    let plan = Planner::new(graph.clone(), s.tech, lib.clone()).plan(&s.nets);
+    assert_eq!(plan.routed().count(), 3, "{:?}", plan.failed().collect::<Vec<_>>());
+
+    // Every routed net passes the full design-rule check for its kind.
+    // (Check against the *pre-reservation* grid: reservation mutates the
+    // planner's private copy to exclude other nets, not this one.)
+    for (net, result) in s.nets.iter().zip(plan.results()) {
+        let path = result.path.as_ref().expect("routed");
+        let rule = match net.kind {
+            NetKind::Combinational => drc::ClockRule::Unconstrained,
+            NetKind::Registered { period } => drc::ClockRule::SingleDomain(period),
+            NetKind::Gals { t_s, t_t } => drc::ClockRule::TwoDomain { t_s, t_t },
+        };
+        let violations = drc::check(path, &graph, &s.tech, &lib, rule);
+        assert!(
+            violations.is_empty(),
+            "net {}: {:?}",
+            net.name,
+            violations
+        );
+    }
+}
+
+#[test]
+fn reservation_respected_between_scenario_nets() {
+    let s = scenario::parse(SCENARIO).expect("valid scenario");
+    let (gw, gh) = s.grid;
+    let graph = GridGraph::from_floorplan(&s.floorplan, gw, gh);
+    let lib = GateLibrary::paper_library();
+    let plan = Planner::new(graph, s.tech, lib).plan(&s.nets);
+    // No two routed nets share an (undirected) edge.
+    let mut used = std::collections::HashSet::new();
+    for result in plan.routed() {
+        for w in result.path.as_ref().expect("routed").points().windows(2) {
+            let key = if (w[0].x, w[0].y) <= (w[1].x, w[1].y) {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
+            assert!(used.insert(key), "edge {key:?} used twice");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The parser must never panic, whatever bytes it is fed.
+    #[test]
+    fn parser_never_panics(text in "\\PC*") {
+        let _ = scenario::parse(&text);
+    }
+
+    /// Structured-ish garbage: random directives with random arguments.
+    #[test]
+    fn parser_never_panics_on_directive_soup(
+        lines in proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just("die"), Just("grid"), Just("tech"), Just("block"),
+                    Just("net"), Just("reserve"), Just("bogus")
+                ],
+                proptest::collection::vec("[a-z0-9=,.m-]{0,8}", 0..6),
+            ),
+            0..12,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(d, args)| format!("{d} {}\n", args.join(" ")))
+            .collect();
+        let _ = scenario::parse(&text);
+    }
+}

@@ -1,0 +1,426 @@
+//! Shared search-engine internals: candidate arena, priority queue and
+//! inferiority pruning.
+//!
+//! All three algorithms (fast path, RBP, GALS) are label-correcting
+//! searches over the grid graph whose candidates carry a downstream
+//! capacitance `c` and a delay `d`. This module centralises the mechanics
+//! they share so the algorithm files contain only the logic the paper
+//! actually describes.
+
+use clockroute_elmore::GateId;
+use clockroute_grid::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// One step of a partial route, stored in a persistent arena so candidate
+/// extension is O(1) and path reconstruction is a parent walk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Step {
+    pub node: NodeId,
+    pub gate: Option<GateId>,
+    pub parent: u32,
+}
+
+/// Append-only arena of [`Step`]s shared by all candidates of a search.
+#[derive(Debug, Default)]
+pub(crate) struct Arena {
+    steps: Vec<Step>,
+}
+
+impl Arena {
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Number of steps allocated (for memory accounting in tests).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn push(&mut self, node: NodeId, gate: Option<GateId>, parent: u32) -> u32 {
+        let id = u32::try_from(self.steps.len()).expect("arena overflow");
+        self.steps.push(Step { node, gate, parent });
+        id
+    }
+
+    /// Walks from `trail` (the source-side head) to the root (the sink),
+    /// merging consecutive same-node steps (a gate-insertion step shares
+    /// its node with the arrival step it decorates).
+    ///
+    /// Returns `(nodes, labels)` in source→sink order.
+    pub fn reconstruct(&self, trail: u32) -> (Vec<NodeId>, Vec<Option<GateId>>) {
+        let mut nodes = Vec::new();
+        let mut labels: Vec<Option<GateId>> = Vec::new();
+        let mut cur = trail;
+        while cur != NO_PARENT {
+            let step = self.steps[cur as usize];
+            if nodes.last() == Some(&step.node) {
+                // Same node: keep the strongest label seen (gate steps are
+                // pushed after arrival steps, so the gate is already
+                // recorded; arrival steps carry `None`).
+                if labels.last() == Some(&None) {
+                    *labels.last_mut().expect("non-empty") = step.gate;
+                }
+            } else {
+                nodes.push(step.node);
+                labels.push(step.gate);
+            }
+            cur = step.parent;
+        }
+        (nodes, labels)
+    }
+}
+
+/// A partial solution. Field meaning follows the paper's candidate tuples
+/// `(c, d, m, v)` (fast path / RBP) and `(c, d, m, v, z, l)` (GALS); the
+/// labelling `m` is materialised lazily through the arena `trail`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cand {
+    /// Downstream input capacitance seen at `node`, in fF.
+    pub cap: f64,
+    /// Delay from `node` to the most recent downstream synchronizer (or
+    /// the sink), in ps. For fast path this is the full delay to `t`.
+    pub delay: f64,
+    pub node: NodeId,
+    /// Arena index of the head step.
+    pub trail: u32,
+    /// `true` if the candidate's labelling already places a gate at
+    /// `node` (then no further insertion may occur here).
+    pub gate_here: bool,
+    /// GALS: `true` once the MCFIFO has been inserted (paper's `z`).
+    pub fifo_inserted: bool,
+    /// GALS: accumulated latency `l` from the last synchronizer to `t`.
+    pub latency: f64,
+    /// Delay of the stage adjacent to the sink (fixed once the first
+    /// synchronizer is inserted); used by the slack tie-break.
+    pub sink_stage: f64,
+    /// Latch extension: cumulative time borrowed so far, in ps.
+    pub borrowed: f64,
+    /// Fast path: candidate represents a completed route (source gate
+    /// delay already added); popping it terminates the search.
+    pub finalized: bool,
+}
+
+impl Cand {
+    pub fn start(cap: f64, delay: f64, trail: u32, node: NodeId) -> Cand {
+        Cand {
+            cap,
+            delay,
+            node,
+            trail,
+            gate_here: true,
+            fifo_inserted: false,
+            latency: 0.0,
+            sink_stage: f64::NAN,
+            borrowed: 0.0,
+            finalized: false,
+        }
+    }
+}
+
+/// Priority-queue wrapper: min-heap on `delay` with a deterministic
+/// sequence-number tie-break (Rust's `BinaryHeap` is a max-heap, hence the
+/// reversed ordering).
+pub(crate) struct DelayQueue {
+    heap: BinaryHeap<QueueEntry>,
+    seq: u64,
+}
+
+struct QueueEntry {
+    key: f64,
+    seq: u64,
+    cand: Cand,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DelayQueue {
+    pub fn new() -> DelayQueue {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, key: f64, cand: Cand) {
+        self.seq += 1;
+        self.heap.push(QueueEntry {
+            key,
+            seq: self.seq,
+            cand,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Cand> {
+        self.heap.pop().map(|e| e.cand)
+    }
+
+    /// Minimum key currently in the queue.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A Pareto entry used for inferiority pruning.
+///
+/// `capable` is `true` when the candidate can still receive a gate at its
+/// node (`m(v) = 0`); a gate-bearing candidate must never prune a
+/// still-capable one at equal `(c, d)`, or a legal insertion could be
+/// lost. `extra` is a third dominated dimension used by the latch
+/// extension (borrowed time); it is 0 elsewhere.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    cap: f64,
+    delay: f64,
+    extra: f64,
+    capable: bool,
+}
+
+impl Entry {
+    /// `self` dominates `other` (other may be pruned).
+    fn dominates(&self, other: &Entry) -> bool {
+        self.cap <= other.cap
+            && self.delay <= other.delay
+            && self.extra <= other.extra
+            && (self.capable || !other.capable)
+    }
+
+    /// Strict domination: at least one coordinate strictly better, so the
+    /// dominated candidate cannot be the entry itself.
+    fn dominates_strictly(&self, other: &Entry) -> bool {
+        self.dominates(other)
+            && (self.cap < other.cap
+                || self.delay < other.delay
+                || self.extra < other.extra
+                || (self.capable && !other.capable))
+    }
+}
+
+/// Per-key Pareto fronts with O(1) lazy clearing between wave fronts.
+///
+/// Keys are `node.index()` for single-domain searches and
+/// `node.index() * 2 + z` for GALS (separate fronts per `z`, per the
+/// paper's rule that candidates with different `z` are never compared).
+pub(crate) struct PruneTable {
+    lists: Vec<Vec<Entry>>,
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl PruneTable {
+    pub fn new(keys: usize) -> PruneTable {
+        PruneTable {
+            lists: vec![Vec::new(); keys],
+            stamps: vec![0; keys],
+            epoch: 1,
+        }
+    }
+
+    /// Starts a new wave front: all fronts are (lazily) cleared.
+    pub fn advance_wave(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn list(&mut self, key: usize) -> &mut Vec<Entry> {
+        if self.stamps[key] != self.epoch {
+            self.stamps[key] = self.epoch;
+            self.lists[key].clear();
+        }
+        &mut self.lists[key]
+    }
+
+    /// Attempts to admit a candidate with the given coordinates.
+    ///
+    /// Returns `false` (and leaves the front unchanged) if an existing
+    /// entry dominates it; otherwise inserts it, evicts entries it
+    /// dominates, and returns `true`. `evicted` is incremented by the
+    /// number of entries removed.
+    pub fn try_admit(
+        &mut self,
+        key: usize,
+        cap: f64,
+        delay: f64,
+        extra: f64,
+        capable: bool,
+        evicted: &mut u64,
+    ) -> bool {
+        let entry = Entry {
+            cap,
+            delay,
+            extra,
+            capable,
+        };
+        let list = self.list(key);
+        if list.iter().any(|e| e.dominates(&entry)) {
+            return false;
+        }
+        let before = list.len();
+        list.retain(|e| !entry.dominates(e));
+        *evicted += (before - list.len()) as u64;
+        list.push(entry);
+        true
+    }
+
+    /// `true` if the candidate has become stale: some entry now strictly
+    /// dominates it (it can no longer be on the Pareto front).
+    pub fn is_stale(&mut self, key: usize, cap: f64, delay: f64, extra: f64, capable: bool) -> bool {
+        let entry = Entry {
+            cap,
+            delay,
+            extra,
+            capable,
+        };
+        self.list(key).iter().any(|e| e.dominates_strictly(&entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(g: &clockroute_grid::GridGraph, x: u32, y: u32) -> NodeId {
+        g.node(clockroute_geom::Point::new(x, y))
+    }
+
+    #[test]
+    fn arena_reconstruct_merges_gate_steps() {
+        use clockroute_geom::units::Length;
+        let g = clockroute_grid::GridGraph::open(4, 1, Length::from_um(1.0));
+        let mut arena = Arena::new();
+        let t = arena.push(nid(&g, 3, 0), None, NO_PARENT);
+        let v2 = arena.push(nid(&g, 2, 0), None, t);
+        let lib = clockroute_elmore::GateLibrary::paper_library();
+        let gate = lib.register();
+        let v2g = arena.push(nid(&g, 2, 0), Some(gate), v2);
+        let v1 = arena.push(nid(&g, 1, 0), None, v2g);
+        let s = arena.push(nid(&g, 0, 0), None, v1);
+        let (nodes, labels) = arena.reconstruct(s);
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0], nid(&g, 0, 0));
+        assert_eq!(nodes[3], nid(&g, 3, 0));
+        assert_eq!(labels, vec![None, None, Some(gate), None]);
+        assert_eq!(arena.len(), 5);
+    }
+
+    #[test]
+    fn delay_queue_orders_by_key_then_fifo() {
+        use clockroute_geom::units::Length;
+        let g = clockroute_grid::GridGraph::open(2, 1, Length::from_um(1.0));
+        let n = nid(&g, 0, 0);
+        let mut q = DelayQueue::new();
+        let mk = |d: f64| {
+            let mut c = Cand::start(1.0, d, NO_PARENT, n);
+            c.gate_here = false;
+            c
+        };
+        q.push(5.0, mk(5.0));
+        q.push(1.0, mk(1.0));
+        q.push(3.0, mk(3.0));
+        q.push(1.0, mk(100.0)); // same key, later seq
+        assert_eq!(q.peek_key(), Some(1.0));
+        assert_eq!(q.pop().unwrap().delay, 1.0);
+        assert_eq!(q.pop().unwrap().delay, 100.0);
+        assert_eq!(q.pop().unwrap().delay, 3.0);
+        assert_eq!(q.pop().unwrap().delay, 5.0);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn prune_basic_dominance() {
+        let mut t = PruneTable::new(1);
+        let mut ev = 0;
+        assert!(t.try_admit(0, 10.0, 10.0, 0.0, true, &mut ev));
+        // Dominated: both coords worse.
+        assert!(!t.try_admit(0, 11.0, 11.0, 0.0, true, &mut ev));
+        // Equal: dominated (non-strict) — duplicate suppressed.
+        assert!(!t.try_admit(0, 10.0, 10.0, 0.0, true, &mut ev));
+        // Incomparable: admitted.
+        assert!(t.try_admit(0, 5.0, 20.0, 0.0, true, &mut ev));
+        // Dominates both: admitted, evicts both.
+        assert!(t.try_admit(0, 5.0, 5.0, 0.0, true, &mut ev));
+        assert_eq!(ev, 2);
+        assert!(!t.try_admit(0, 6.0, 6.0, 0.0, true, &mut ev));
+    }
+
+    #[test]
+    fn gate_bearing_cannot_prune_capable_at_equal_coords() {
+        let mut t = PruneTable::new(1);
+        let mut ev = 0;
+        // Gate-bearing entry first.
+        assert!(t.try_admit(0, 10.0, 10.0, 0.0, false, &mut ev));
+        // Capable candidate at the same coordinates must be admitted…
+        assert!(t.try_admit(0, 10.0, 10.0, 0.0, true, &mut ev));
+        // …and it evicts the gate-bearing one.
+        assert_eq!(ev, 1);
+        // A gate-bearing one at equal coords is now dominated.
+        assert!(!t.try_admit(0, 10.0, 10.0, 0.0, false, &mut ev));
+    }
+
+    #[test]
+    fn third_dimension_respected() {
+        let mut t = PruneTable::new(1);
+        let mut ev = 0;
+        assert!(t.try_admit(0, 10.0, 10.0, 5.0, true, &mut ev));
+        // Worse cap/delay but less borrowing: incomparable, admitted.
+        assert!(t.try_admit(0, 12.0, 12.0, 0.0, true, &mut ev));
+        // Dominated in all three: rejected.
+        assert!(!t.try_admit(0, 12.0, 12.0, 6.0, true, &mut ev));
+    }
+
+    #[test]
+    fn wave_advance_clears_fronts() {
+        let mut t = PruneTable::new(2);
+        let mut ev = 0;
+        assert!(t.try_admit(0, 1.0, 1.0, 0.0, true, &mut ev));
+        assert!(!t.try_admit(0, 2.0, 2.0, 0.0, true, &mut ev));
+        t.advance_wave();
+        // Previous wave's entries no longer prune.
+        assert!(t.try_admit(0, 2.0, 2.0, 0.0, true, &mut ev));
+    }
+
+    #[test]
+    fn staleness_is_strict() {
+        let mut t = PruneTable::new(1);
+        let mut ev = 0;
+        t.try_admit(0, 10.0, 10.0, 0.0, true, &mut ev);
+        // The entry itself is not stale.
+        assert!(!t.is_stale(0, 10.0, 10.0, 0.0, true));
+        t.try_admit(0, 9.0, 9.0, 0.0, true, &mut ev);
+        assert!(t.is_stale(0, 10.0, 10.0, 0.0, true));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the routing searches.
+
+use clockroute_geom::Point;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `solve` methods of the routing specs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteError {
+    /// The source point lies outside the routing grid.
+    SourceOffGrid(Point),
+    /// The sink point lies outside the routing grid.
+    SinkOffGrid(Point),
+    /// Source and sink coincide.
+    SameSourceSink(Point),
+    /// No feasible route exists under the given constraints (either the
+    /// terminals are disconnected or the clock period is too tight for
+    /// the grid granularity — cf. Table II's empty cells).
+    NoFeasibleRoute,
+    /// The clock period is not strictly positive.
+    InvalidPeriod,
+    /// No source point was supplied to the spec builder.
+    UnspecifiedSource,
+    /// No sink point was supplied to the spec builder.
+    UnspecifiedSink,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SourceOffGrid(p) => write!(f, "source {p} lies outside the grid"),
+            RouteError::SinkOffGrid(p) => write!(f, "sink {p} lies outside the grid"),
+            RouteError::SameSourceSink(p) => {
+                write!(f, "source and sink coincide at {p}")
+            }
+            RouteError::NoFeasibleRoute => {
+                f.write_str("no feasible route exists under the given constraints")
+            }
+            RouteError::InvalidPeriod => f.write_str("clock period must be positive"),
+            RouteError::UnspecifiedSource => f.write_str("no source point was specified"),
+            RouteError::UnspecifiedSink => f.write_str("no sink point was specified"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RouteError::SourceOffGrid(Point::new(9, 9)).to_string(),
+            "source (9, 9) lies outside the grid"
+        );
+        assert_eq!(
+            RouteError::NoFeasibleRoute.to_string(),
+            "no feasible route exists under the given constraints"
+        );
+        assert_eq!(
+            RouteError::InvalidPeriod.to_string(),
+            "clock period must be positive"
+        );
+        assert_eq!(
+            RouteError::SameSourceSink(Point::new(1, 2)).to_string(),
+            "source and sink coincide at (1, 2)"
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! The fast path algorithm (Zhou, Wong, Liu & Aziz): minimum Elmore-delay
+//! buffered routing path.
+//!
+//! This is the dynamic-programming framework (paper Fig. 1) that RBP and
+//! GALS extend. Candidates `(c, d, m, v)` — downstream capacitance, delay
+//! to the sink, labelling, node — are expanded Dijkstra-style from the
+//! sink; at every node a Pareto front over `(c, d)` prunes inferior
+//! candidates. When a candidate that has reached the source (with the
+//! driving gate's delay added) is popped off the queue, it is the global
+//! minimum-delay buffered path.
+
+use crate::ctx::Ctx;
+use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
+use crate::{FastPathSolution, RouteError, RoutedPath, SearchStats};
+use clockroute_elmore::{GateId, GateLibrary, Technology};
+use clockroute_geom::units::Time;
+use clockroute_geom::Point;
+use clockroute_grid::GridGraph;
+
+/// Specification builder for a fast path search.
+///
+/// # Example
+///
+/// ```
+/// use clockroute_core::FastPathSpec;
+/// use clockroute_elmore::{Technology, GateLibrary};
+/// use clockroute_grid::GridGraph;
+/// use clockroute_geom::{Point, units::Length};
+///
+/// let graph = GridGraph::open(20, 20, Length::from_um(500.0));
+/// let tech = Technology::paper_070nm();
+/// let lib = GateLibrary::paper_library();
+/// let sol = FastPathSpec::new(&graph, &tech, &lib)
+///     .source(Point::new(0, 0))
+///     .sink(Point::new(19, 19))
+///     .solve()?;
+/// assert!(sol.buffer_count() > 0);
+/// # Ok::<(), clockroute_core::RouteError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastPathSpec<'a> {
+    graph: &'a GridGraph,
+    tech: &'a Technology,
+    lib: &'a GateLibrary,
+    source: Option<Point>,
+    sink: Option<Point>,
+    source_gate: GateId,
+    sink_gate: GateId,
+}
+
+impl<'a> FastPathSpec<'a> {
+    /// Creates a spec with the library's register as the default terminal
+    /// gate model at both ends.
+    pub fn new(graph: &'a GridGraph, tech: &'a Technology, lib: &'a GateLibrary) -> Self {
+        FastPathSpec {
+            graph,
+            tech,
+            lib,
+            source: None,
+            sink: None,
+            source_gate: lib.register(),
+            sink_gate: lib.register(),
+        }
+    }
+
+    /// Sets the source grid point.
+    pub fn source(mut self, p: Point) -> Self {
+        self.source = Some(p);
+        self
+    }
+
+    /// Sets the sink grid point.
+    pub fn sink(mut self, p: Point) -> Self {
+        self.sink = Some(p);
+        self
+    }
+
+    /// Overrides the driving gate `g_s` at the source.
+    pub fn source_gate(mut self, g: GateId) -> Self {
+        self.source_gate = g;
+        self
+    }
+
+    /// Overrides the receiving gate `g_t` at the sink.
+    pub fn sink_gate(mut self, g: GateId) -> Self {
+        self.sink_gate = g;
+        self
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] if the spec is invalid or the terminals are
+    /// disconnected by wiring blockages.
+    pub fn solve(&self) -> Result<FastPathSolution, RouteError> {
+        let ctx = Ctx::new(
+            self.graph,
+            self.tech,
+            self.lib,
+            self.source,
+            self.sink,
+            self.source_gate,
+            self.sink_gate,
+        )?;
+        solve(&ctx)
+    }
+}
+
+fn solve(ctx: &Ctx<'_>) -> Result<FastPathSolution, RouteError> {
+    let graph = ctx.graph;
+    let mut stats = SearchStats::new();
+    let mut arena = Arena::new();
+    let mut queue = DelayQueue::new();
+    let mut prune = PruneTable::new(graph.node_count());
+
+    let gt = ctx.lib.gate(ctx.gt);
+    let root = arena.push(ctx.t, None, NO_PARENT);
+    let start = Cand::start(gt.input_cap().ff(), gt.setup().ps(), root, ctx.t);
+    prune.try_admit(
+        ctx.t.index(),
+        start.cap,
+        start.delay,
+        0.0,
+        false,
+        &mut stats.pruned,
+    );
+    queue.push(start.delay, start);
+    stats.record_push(queue.len());
+
+    while let Some(cand) = queue.pop() {
+        stats.configs += 1;
+        if cand.finalized {
+            // First completed candidate off the queue is globally optimal.
+            let (nodes, mut labels) = arena.reconstruct(cand.trail);
+            let points: Vec<Point> = nodes.iter().map(|&n| graph.point(n)).collect();
+            labels[0] = Some(ctx.gs);
+            let last = labels.len() - 1;
+            labels[last] = Some(ctx.gt);
+            let path = RoutedPath::new(points, labels, ctx.lib);
+            return Ok(FastPathSolution {
+                path,
+                delay: Time::from_ps(cand.delay),
+                stats,
+            });
+        }
+        if prune.is_stale(
+            cand.node.index(),
+            cand.cap,
+            cand.delay,
+            0.0,
+            !cand.gate_here,
+        ) {
+            stats.stale_skipped += 1;
+            continue;
+        }
+
+        // Step 6 (Fig. 1): extend along each incident edge.
+        for v in graph.neighbors(cand.node) {
+            let (re, ce) = ctx.edge(cand.node, v);
+            let cap = cand.cap + ce;
+            let delay = cand.delay + re * (cand.cap + ce / 2.0);
+            if !prune.try_admit(v.index(), cap, delay, 0.0, true, &mut stats.pruned) {
+                stats.pruned += 1;
+                continue;
+            }
+            let trail = arena.push(v, None, cand.trail);
+            let mut next = Cand::start(cap, delay, trail, v);
+            next.gate_here = false;
+            queue.push(delay, next);
+            stats.record_push(queue.len());
+            if v == ctx.s {
+                // Step 5: a source arrival — push the completed candidate
+                // keyed by its total delay.
+                let total = ctx.finish_at_source(cap, delay);
+                let mut fin = next;
+                fin.delay = total;
+                fin.finalized = true;
+                queue.push(total, fin);
+                stats.record_push(queue.len());
+            }
+        }
+
+        // Steps 7–8: try every buffer at the current node.
+        if cand.node != ctx.s
+            && cand.node != ctx.t
+            && !cand.gate_here
+            && graph.is_insertable(cand.node)
+        {
+            for b in &ctx.buffers {
+                let cap = b.cap;
+                let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
+                if !prune.try_admit(cand.node.index(), cap, delay, 0.0, false, &mut stats.pruned)
+                {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let trail = arena.push(cand.node, Some(b.id), cand.trail);
+                let mut next = Cand::start(cap, delay, trail, cand.node);
+                next.gate_here = true;
+                queue.push(delay, next);
+                stats.record_push(queue.len());
+            }
+        }
+    }
+
+    Err(RouteError::NoFeasibleRoute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockroute_elmore::calib;
+    use clockroute_geom::units::Length;
+    use clockroute_geom::{BlockageMap, Rect};
+    use clockroute_grid::shortest_path;
+
+    fn setup(n: u32, pitch_um: f64) -> (GridGraph, Technology, GateLibrary) {
+        (
+            GridGraph::open(n, n, Length::from_um(pitch_um)),
+            Technology::paper_070nm(),
+            GateLibrary::paper_library(),
+        )
+    }
+
+    fn p(x: u32, y: u32) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn missing_terminals_error() {
+        let (g, tech, lib) = setup(4, 100.0);
+        assert_eq!(
+            FastPathSpec::new(&g, &tech, &lib).solve().unwrap_err(),
+            RouteError::UnspecifiedSource
+        );
+        assert_eq!(
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .solve()
+                .unwrap_err(),
+            RouteError::UnspecifiedSink
+        );
+    }
+
+    #[test]
+    fn short_route_needs_no_buffer() {
+        let (g, tech, lib) = setup(4, 100.0);
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(1, 0))
+            .solve()
+            .unwrap();
+        assert_eq!(sol.buffer_count(), 0);
+        assert_eq!(sol.path().edge_count(), 1);
+        // Verify against the ground-truth evaluator.
+        let report = sol.path().report(&g, &tech, &lib);
+        assert!((report.total_delay().ps() - sol.delay().ps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn takes_shortest_route_on_open_grid() {
+        let (g, tech, lib) = setup(12, 250.0);
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(1, 1))
+            .sink(p(10, 8))
+            .solve()
+            .unwrap();
+        // Detours only add delay on an open grid.
+        assert_eq!(sol.path().edge_count() as u32, p(1, 1).manhattan(p(10, 8)));
+        let sp = shortest_path(&g, p(1, 1), p(10, 8)).unwrap();
+        assert_eq!(sol.path().edge_count(), sp.edge_count());
+    }
+
+    #[test]
+    fn long_route_buffer_count_and_delay_match_theory() {
+        // 40 grid edges at 500 µm = 20 mm: theory says buffers every
+        // ~2.37 mm and ~68.7 ps/mm.
+        let (g, tech, lib) = setup(41, 500.0);
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 20))
+            .sink(p(40, 20))
+            .solve()
+            .unwrap();
+        let buf = *lib.gate(lib.buffers().next().unwrap());
+        let predicted = calib::min_buffered_delay(&tech, &buf, Length::from_mm(20.0));
+        let measured = sol.delay();
+        assert!(
+            (measured.ps() - predicted.ps()).abs() / predicted.ps() < 0.05,
+            "measured {measured} vs theory {predicted}"
+        );
+        // ~20 mm / 2.37 mm ≈ 8 buffers.
+        assert!(
+            (7..=9).contains(&sol.buffer_count()),
+            "buffers {}",
+            sol.buffer_count()
+        );
+        // Ground truth agrees exactly.
+        let report = sol.path().report(&g, &tech, &lib);
+        assert!((report.total_delay().ps() - measured.ps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn routes_around_wiring_blockage() {
+        let mut blk = BlockageMap::new(11, 11);
+        // Wall with a gap at the top.
+        for y in 0..10 {
+            blk.block_edge(p(5, y), p(6, y));
+        }
+        let g = GridGraph::new(blk, Length::from_um(250.0), Length::from_um(250.0));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(10, 0))
+            .solve()
+            .unwrap();
+        assert!(sol.path().grid_path().validate(&g).is_ok());
+        assert!(sol.path().edge_count() > 10);
+    }
+
+    #[test]
+    fn no_buffers_inside_obstacles() {
+        let mut blk = BlockageMap::new(21, 5);
+        // Obstacle covering the middle band: routable but not insertable.
+        blk.block_nodes(&Rect::new(p(5, 0), p(15, 4)));
+        let g = GridGraph::new(blk, Length::from_um(1000.0), Length::from_um(1000.0));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 2))
+            .sink(p(20, 2))
+            .solve()
+            .unwrap();
+        for (pt, gate) in sol.path().gates() {
+            if pt != p(0, 2) && pt != p(20, 2) {
+                assert!(
+                    !g.blockage().is_node_blocked(pt),
+                    "gate {gate} inserted inside obstacle at {pt}"
+                );
+            }
+        }
+        assert!(sol.buffer_count() > 0);
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let mut blk = BlockageMap::new(5, 5);
+        for y in 0..5 {
+            blk.block_edge(p(2, y), p(3, y));
+        }
+        let g = GridGraph::new(blk, Length::from_um(100.0), Length::from_um(100.0));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let err = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(4, 4))
+            .solve()
+            .unwrap_err();
+        assert_eq!(err, RouteError::NoFeasibleRoute);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, tech, lib) = setup(15, 250.0);
+        let run = || {
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .sink(p(14, 14))
+                .solve()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.path(), b.path());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (g, tech, lib) = setup(10, 250.0);
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(9, 9))
+            .solve()
+            .unwrap();
+        let s = sol.stats();
+        assert!(s.configs > 0);
+        assert!(s.pushed > 0);
+        assert!(s.max_queue > 0);
+    }
+}

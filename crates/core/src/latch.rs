@@ -1,0 +1,554 @@
+//! Transparent-latch routing with time borrowing — the extension the
+//! paper points to via Hassoun's level-sensitive-latch work (ref.\ \[9\]).
+//!
+//! # Model
+//!
+//! Synchronizers are level-sensitive latches with a transparency window of
+//! width `B` after their nominal closing edge: data arriving at latch `i`
+//! up to `i·T + B` still flows through, *borrowing* time from the next
+//! stage. The source launches exactly at `t = 0` and the sink is an
+//! edge-triggered register, so no borrowing is possible at either end.
+//! Cycle latency is unchanged by borrowing: `T · (latches + 1)`.
+//!
+//! Writing `σ_k` for the delay of the `k`-th stage counted from the sink,
+//! feasibility is the window-constraint family
+//!
+//! ```text
+//! Σ_{k=i+1..j} σ_k ≤ (j−i)·T + B·[latch i is interior]   for all i < j
+//! ```
+//!
+//! which folds into a single scalar per partial solution: the backward
+//! lateness `V` with recurrence `V' = max(σ − T + V, −B)`, feasibility
+//! `σ ≤ T − V`, and initial value `V = 0` at the sink. `V` joins `(c, d)`
+//! as a third pruning dimension, so the search remains optimal: a
+//! candidate is only discarded if another is at least as good in
+//! capacitance, delay *and* accumulated lateness.
+//!
+//! With `B = 0` the model degenerates exactly to RBP (asserted in tests).
+//! With `B > 0` the search can ride through grids whose insertion sites
+//! are too unevenly spaced for edge-triggered registers, sometimes saving
+//! entire pipeline stages.
+
+use crate::ctx::Ctx;
+use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
+use crate::{RouteError, RoutedPath, SearchStats};
+use clockroute_elmore::{GateId, GateLibrary, Technology};
+use clockroute_geom::units::Time;
+use clockroute_geom::Point;
+use clockroute_grid::GridGraph;
+use serde::{Deserialize, Serialize};
+
+/// Specification builder for a latch-based registered route.
+///
+/// # Example
+///
+/// ```
+/// use clockroute_core::LatchSpec;
+/// use clockroute_elmore::{Technology, GateLibrary};
+/// use clockroute_grid::GridGraph;
+/// use clockroute_geom::{Point, units::{Length, Time}};
+///
+/// let graph = GridGraph::open(30, 30, Length::from_um(500.0));
+/// let tech = Technology::paper_070nm();
+/// let lib = GateLibrary::paper_library();
+/// let sol = LatchSpec::new(&graph, &tech, &lib)
+///     .source(Point::new(0, 0))
+///     .sink(Point::new(29, 29))
+///     .period(Time::from_ps(300.0))
+///     .borrow_window(Time::from_ps(60.0))
+///     .solve()?;
+/// assert!(sol.latch_count() > 0);
+/// # Ok::<(), clockroute_core::RouteError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatchSpec<'a> {
+    graph: &'a GridGraph,
+    tech: &'a Technology,
+    lib: &'a GateLibrary,
+    source: Option<Point>,
+    sink: Option<Point>,
+    source_gate: GateId,
+    sink_gate: GateId,
+    period: Option<Time>,
+    borrow: Time,
+}
+
+impl<'a> LatchSpec<'a> {
+    /// Creates a spec with the register model at both terminals and a
+    /// zero borrowing window (i.e. RBP semantics until configured).
+    pub fn new(graph: &'a GridGraph, tech: &'a Technology, lib: &'a GateLibrary) -> Self {
+        LatchSpec {
+            graph,
+            tech,
+            lib,
+            source: None,
+            sink: None,
+            source_gate: lib.register(),
+            sink_gate: lib.register(),
+            period: None,
+            borrow: Time::ZERO,
+        }
+    }
+
+    /// Sets the source grid point.
+    pub fn source(mut self, p: Point) -> Self {
+        self.source = Some(p);
+        self
+    }
+
+    /// Sets the sink grid point.
+    pub fn sink(mut self, p: Point) -> Self {
+        self.sink = Some(p);
+        self
+    }
+
+    /// Sets the clock period `T_φ`.
+    pub fn period(mut self, t: Time) -> Self {
+        self.period = Some(t);
+        self
+    }
+
+    /// Sets the transparency (time-borrowing) window `B`.
+    pub fn borrow_window(mut self, b: Time) -> Self {
+        self.borrow = b;
+        self
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] on invalid specs or when no latch placement
+    /// meets the period even with borrowing.
+    pub fn solve(&self) -> Result<LatchSolution, RouteError> {
+        let t_phi = self.period.ok_or(RouteError::InvalidPeriod)?;
+        if t_phi.ps() <= 0.0 || !t_phi.is_finite() || self.borrow.ps() < 0.0 {
+            return Err(RouteError::InvalidPeriod);
+        }
+        let ctx = Ctx::new(
+            self.graph,
+            self.tech,
+            self.lib,
+            self.source,
+            self.sink,
+            self.source_gate,
+            self.sink_gate,
+        )?;
+        solve(&ctx, t_phi, self.borrow)
+    }
+}
+
+/// Result of a latch-based search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatchSolution {
+    path: RoutedPath,
+    period: Time,
+    borrow: Time,
+    stats: SearchStats,
+}
+
+impl LatchSolution {
+    /// The labelled route (latches use the library's latch model).
+    pub fn path(&self) -> &RoutedPath {
+        &self.path
+    }
+
+    /// The clock period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The transparency window `B`.
+    pub fn borrow_window(&self) -> Time {
+        self.borrow
+    }
+
+    /// Number of inserted latches.
+    pub fn latch_count(&self) -> usize {
+        self.path.register_count()
+    }
+
+    /// Number of inserted buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.path.buffer_count()
+    }
+
+    /// Cycle latency `T_φ × (latches + 1)` — borrowing does not change
+    /// latency, only feasibility.
+    pub fn latency(&self) -> Time {
+        self.period * (self.latch_count() as f64 + 1.0)
+    }
+
+    /// Search-effort counters.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+}
+
+/// Checks the window-constraint family directly on forward stage delays
+/// — the independent validator used in tests and by downstream tooling.
+///
+/// `stages` are forward (source first); `t` the period, `b` the window.
+pub fn validate_borrowing(stages: &[Time], t: Time, b: Time) -> bool {
+    if stages.is_empty() {
+        return false;
+    }
+    // Forward lateness recurrence: L_0 = 0 at the source launch;
+    // L_i = max(0, L_{i-1} + σ_i − T) ≤ B at interior latches; the sink
+    // requires L = 0 after the last stage.
+    let mut lateness: f64 = 0.0;
+    for (i, s) in stages.iter().enumerate() {
+        lateness = (lateness + s.ps() - t.ps()).max(0.0);
+        let limit = if i + 1 == stages.len() { 0.0 } else { b.ps() };
+        if lateness > limit + 1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
+fn solve(ctx: &Ctx<'_>, t_phi: Time, borrow: Time) -> Result<LatchSolution, RouteError> {
+    let graph = ctx.graph;
+    let t = t_phi.ps();
+    let b = borrow.ps();
+    let n = graph.node_count();
+    let mut stats = SearchStats::new();
+    let mut arena = Arena::new();
+    let mut prune = PruneTable::new(n);
+    // Unlike RBP, a node may receive latch insertions from several
+    // candidates (their lateness differs), so we rely on pruning alone
+    // rather than a global A(v) marking — the 3-D front keeps at most a
+    // small Pareto set per node per wave.
+    let latch_gate = ctx.lib.gate(ctx.lib.latch());
+    let latch_res = latch_gate.driver_res().ohms();
+    let latch_cap = latch_gate.input_cap().ff();
+    let latch_k = latch_gate.intrinsic().ps();
+    let latch_setup = latch_gate.setup().ps();
+    let latch_id = ctx.lib.latch();
+
+    let mut queue = DelayQueue::new();
+    let mut spill: Vec<Cand> = Vec::new();
+    // Cross-wave seed dominance: a latch seed at node u always restarts
+    // from the same (C, Setup); only its lateness V differs. A seed from
+    // an earlier wave with V ≤ V' strictly dominates a later one (less
+    // latency, weakly more future feasibility), so remember the best V
+    // ever seeded per node and skip non-improving insertions. This is
+    // the latch analogue of RBP's A(v) marking.
+    let mut best_seed_v = vec![f64::INFINITY; n];
+
+    let gt = ctx.lib.gate(ctx.gt);
+    let root = arena.push(ctx.t, None, NO_PARENT);
+    let mut start = Cand::start(gt.input_cap().ff(), gt.setup().ps(), root, ctx.t);
+    start.borrowed = 0.0; // V at the sink
+    prune.try_admit(ctx.t.index(), start.cap, start.delay, b, false, &mut stats.pruned);
+    queue.push(start.delay, start);
+    stats.record_push(queue.len());
+
+    loop {
+        while let Some(cand) = queue.pop() {
+            stats.configs += 1;
+            let extra = cand.borrowed + b; // shifted to ≥ 0
+            if prune.is_stale(cand.node.index(), cand.cap, cand.delay, extra, !cand.gate_here) {
+                stats.stale_skipped += 1;
+                continue;
+            }
+
+            if cand.node == ctx.s {
+                let total = ctx.finish_at_source(cand.cap, cand.delay);
+                // The source launches exactly at the edge: no borrowing.
+                if total - t + cand.borrowed <= 0.0 {
+                    let (nodes, mut labels) = arena.reconstruct(cand.trail);
+                    let points: Vec<Point> = nodes.iter().map(|&nd| graph.point(nd)).collect();
+                    labels[0] = Some(ctx.gs);
+                    let last = labels.len() - 1;
+                    labels[last] = Some(ctx.gt);
+                    return Ok(LatchSolution {
+                        path: RoutedPath::new(points, labels, ctx.lib),
+                        period: t_phi,
+                        borrow,
+                        stats,
+                    });
+                }
+            }
+
+            // Per-candidate admissible budget for the stage under
+            // construction: σ ≤ T − V.
+            let budget = t - cand.borrowed;
+
+            for v in graph.neighbors(cand.node) {
+                let (re, ce) = ctx.edge(cand.node, v);
+                let cap = cand.cap + ce;
+                let delay = cand.delay + re * (cand.cap + ce / 2.0);
+                if delay > budget - latch_k - ctx.min_res * cap * 1.0e-3 {
+                    stats.bound_rejected += 1;
+                    continue;
+                }
+                if !prune.try_admit(v.index(), cap, delay, extra, true, &mut stats.pruned) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let trail = arena.push(v, None, cand.trail);
+                let mut next = cand;
+                next.cap = cap;
+                next.delay = delay;
+                next.node = v;
+                next.trail = trail;
+                next.gate_here = false;
+                queue.push(delay, next);
+                stats.record_push(queue.len());
+            }
+
+            let internal = cand.node != ctx.s && cand.node != ctx.t && !cand.gate_here;
+
+            if internal && graph.is_insertable(cand.node) {
+                for bf in &ctx.buffers {
+                    let cap = bf.cap;
+                    let delay = cand.delay + bf.res * cand.cap * 1.0e-3 + bf.k;
+                    if delay > budget - latch_k {
+                        stats.bound_rejected += 1;
+                        continue;
+                    }
+                    if !prune.try_admit(
+                        cand.node.index(),
+                        cap,
+                        delay,
+                        extra,
+                        false,
+                        &mut stats.pruned,
+                    ) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    let trail = arena.push(cand.node, Some(bf.id), cand.trail);
+                    let mut next = cand;
+                    next.cap = cap;
+                    next.delay = delay;
+                    next.trail = trail;
+                    next.gate_here = true;
+                    queue.push(delay, next);
+                    stats.record_push(queue.len());
+                }
+            }
+
+            // Latch insertion → next wave, carrying the new lateness V'.
+            if internal && graph.is_register_allowed(cand.node) {
+                let stage = cand.delay + latch_res * cand.cap * 1.0e-3 + latch_k;
+                // Feasible iff σ ≤ T − V; the borrowing allowance of the
+                // downstream latch is already folded into V (clamped at
+                // −B), so a stage may overshoot T by up to B when the
+                // downstream windows have that much slack.
+                if stage - t + cand.borrowed <= 0.0 {
+                    let new_v = (stage - t + cand.borrowed).max(-b);
+                    if new_v >= best_seed_v[cand.node.index()] {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    best_seed_v[cand.node.index()] = new_v;
+                    let trail = arena.push(cand.node, Some(latch_id), cand.trail);
+                    let mut next = cand;
+                    next.cap = latch_cap;
+                    next.delay = latch_setup;
+                    next.trail = trail;
+                    next.gate_here = true;
+                    next.borrowed = new_v;
+                    spill.push(next);
+                } else {
+                    stats.bound_rejected += 1;
+                }
+            }
+        }
+
+        if spill.is_empty() {
+            return Err(RouteError::NoFeasibleRoute);
+        }
+        // Termination bound: every latch occupies a distinct node
+        // (m: V → I ∪ {0}), so a feasible solution never needs more
+        // latches than there are grid nodes. Unlike RBP there is no
+        // global A(v) marking here (candidates with different lateness
+        // may all legitimately latch at the same node), so without this
+        // cap an infeasible instance would spawn waves forever.
+        if stats.waves as usize >= graph.node_count() {
+            return Err(RouteError::NoFeasibleRoute);
+        }
+        stats.waves += 1;
+        prune.advance_wave();
+        // Seed the next wave, pruning among its candidates (several may
+        // share a node with different lateness).
+        let mut next_wave = std::mem::take(&mut spill);
+        next_wave.sort_by(|a, b2| {
+            a.delay
+                .partial_cmp(&b2.delay)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for cand in next_wave {
+            let extra = cand.borrowed + b;
+            if !prune.try_admit(
+                cand.node.index(),
+                cand.cap,
+                cand.delay,
+                extra,
+                false,
+                &mut stats.pruned,
+            ) {
+                stats.pruned += 1;
+                continue;
+            }
+            queue.push(cand.delay, cand);
+            stats.record_push(queue.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RbpSpec;
+    use clockroute_geom::units::Length;
+    use clockroute_geom::BlockageMap;
+
+    fn setup(n: u32, pitch_um: f64) -> (GridGraph, Technology, GateLibrary) {
+        (
+            GridGraph::open(n, n, Length::from_um(pitch_um)),
+            Technology::paper_070nm(),
+            GateLibrary::paper_library(),
+        )
+    }
+
+    fn p(x: u32, y: u32) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn validator_accepts_balanced_and_borrowed() {
+        let t = Time::from_ps(100.0);
+        let b = Time::from_ps(20.0);
+        let s = |v: f64| Time::from_ps(v);
+        assert!(validate_borrowing(&[s(90.0), s(95.0)], t, b));
+        // Borrow 15 in stage 1, repay in stage 2.
+        assert!(validate_borrowing(&[s(115.0), s(80.0)], t, b));
+        // Borrow beyond the window.
+        assert!(!validate_borrowing(&[s(125.0), s(60.0)], t, b));
+        // Borrow into the sink (last stage must repay fully).
+        assert!(!validate_borrowing(&[s(90.0), s(105.0)], t, b));
+        // Chained borrowing that never repays.
+        assert!(!validate_borrowing(&[s(115.0), s(110.0), s(90.0)], t, b));
+        // Chained borrowing that does repay.
+        assert!(validate_borrowing(&[s(115.0), s(100.0), s(80.0)], t, b));
+        assert!(!validate_borrowing(&[], t, b));
+    }
+
+    #[test]
+    fn zero_borrow_matches_rbp() {
+        let (g, tech, lib) = setup(25, 500.0);
+        for period in [250.0, 400.0, 700.0] {
+            let rbp = RbpSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .sink(p(24, 24))
+                .period(Time::from_ps(period))
+                .solve()
+                .unwrap();
+            let lat = LatchSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .sink(p(24, 24))
+                .period(Time::from_ps(period))
+                .solve()
+                .unwrap();
+            assert_eq!(
+                lat.latch_count(),
+                rbp.register_count(),
+                "period {period}"
+            );
+            assert_eq!(lat.latency(), rbp.latency());
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_window_constraints() {
+        let (g, tech, lib) = setup(30, 500.0);
+        let t = Time::from_ps(250.0);
+        let b = Time::from_ps(50.0);
+        let sol = LatchSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(29, 29))
+            .period(t)
+            .borrow_window(b)
+            .solve()
+            .unwrap();
+        let report = sol.path().report(&g, &tech, &lib);
+        let stages: Vec<Time> = report.stage_delays().collect();
+        assert!(
+            validate_borrowing(&stages, t, b),
+            "stages {stages:?} violate borrowing constraints"
+        );
+    }
+
+    #[test]
+    fn borrowing_never_hurts_and_can_save_stages() {
+        // On a grid with sparse insertion sites, register placement is
+        // forced to be uneven; borrowing lets stages overshoot and repay.
+        let mut blk = BlockageMap::new(41, 3);
+        // Only every 7th column allows insertion.
+        for x in 0..41 {
+            if x % 7 != 0 {
+                for y in 0..3 {
+                    blk.block_node(p(x, y));
+                }
+            }
+        }
+        let g = GridGraph::new(blk, Length::from_um(500.0), Length::from_um(500.0));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(260.0);
+
+        let no_borrow = LatchSpec::new(&g, &tech, &lib)
+            .source(p(0, 1))
+            .sink(p(40, 1))
+            .period(t)
+            .solve();
+        let with_borrow = LatchSpec::new(&g, &tech, &lib)
+            .source(p(0, 1))
+            .sink(p(40, 1))
+            .period(t)
+            .borrow_window(Time::from_ps(80.0))
+            .solve();
+        let wb = with_borrow.expect("borrowing route must exist");
+        if let Ok(nb) = no_borrow {
+            assert!(
+                wb.latch_count() <= nb.latch_count(),
+                "borrowing used more latches ({} vs {})",
+                wb.latch_count(),
+                nb.latch_count()
+            );
+        }
+        // The borrowed solution is genuinely valid.
+        let report = wb.path().report(&g, &tech, &lib);
+        let stages: Vec<Time> = report.stage_delays().collect();
+        assert!(validate_borrowing(&stages, t, Time::from_ps(80.0)));
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let (g, tech, lib) = setup(8, 500.0);
+        let err = LatchSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(7, 7))
+            .period(Time::from_ps(30.0))
+            .borrow_window(Time::from_ps(5.0))
+            .solve()
+            .unwrap_err();
+        assert_eq!(err, RouteError::NoFeasibleRoute);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let (g, tech, lib) = setup(5, 500.0);
+        assert_eq!(
+            LatchSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .sink(p(4, 4))
+                .solve()
+                .unwrap_err(),
+            RouteError::InvalidPeriod
+        );
+    }
+}

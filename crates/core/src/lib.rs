@@ -1,0 +1,64 @@
+//! Optimal simultaneous routing and synchronizer insertion — the core
+//! algorithms of Hassoun & Alpert, *“Optimal Path Routing in Single- and
+//! Multiple-Clock Domain Systems”* (IEEE TCAD, 2003).
+//!
+//! Three searches over a blocked routing grid, all optimal and
+//! polynomial:
+//!
+//! | Algorithm | Problem | Entry point |
+//! |-----------|---------|-------------|
+//! | fast path | minimum Elmore-delay buffered path (Zhou et al. framework) | [`FastPathSpec`] |
+//! | RBP | minimum cycle-latency buffered + *registered* path, single clock domain (Problem 1) | [`RbpSpec`] |
+//! | GALS | minimum-latency path across two clock domains via an MCFIFO (Problem 2) | [`GalsSpec`] |
+//!
+//! Plus two documented extensions: transparent-latch routing with time
+//! borrowing ([`latch`]) and exhaustive reference oracles used to verify
+//! optimality on small instances (the `reference` module).
+//!
+//! # Example
+//!
+//! ```
+//! use clockroute_core::{FastPathSpec, RbpSpec};
+//! use clockroute_elmore::{Technology, GateLibrary};
+//! use clockroute_grid::GridGraph;
+//! use clockroute_geom::{Point, units::{Length, Time}};
+//!
+//! let graph = GridGraph::open(30, 30, Length::from_um(500.0));
+//! let tech = Technology::paper_070nm();
+//! let lib = GateLibrary::paper_library();
+//!
+//! // Unconstrained minimum delay…
+//! let fp = FastPathSpec::new(&graph, &tech, &lib)
+//!     .source(Point::new(0, 0))
+//!     .sink(Point::new(29, 29))
+//!     .solve()?;
+//!
+//! // …and the registered route at a 400 ps clock.
+//! let rbp = RbpSpec::new(&graph, &tech, &lib)
+//!     .source(Point::new(0, 0))
+//!     .sink(Point::new(29, 29))
+//!     .period(Time::from_ps(400.0))
+//!     .solve()?;
+//! assert!(rbp.latency() >= fp.delay());
+//! # Ok::<(), clockroute_core::RouteError>(())
+//! ```
+
+mod ctx;
+pub mod drc;
+mod engine;
+mod error;
+mod fastpath;
+mod gals;
+pub mod latch;
+mod rbp;
+pub mod reference;
+mod result;
+mod stats;
+
+pub use error::RouteError;
+pub use fastpath::FastPathSpec;
+pub use gals::GalsSpec;
+pub use latch::{LatchSolution, LatchSpec};
+pub use rbp::{RbpSpec, RbpVariant, TieBreak, WaveTrace};
+pub use result::{FastPathSolution, GalsSolution, RbpSolution, RoutedPath};
+pub use stats::SearchStats;

@@ -1,0 +1,81 @@
+//! Search-effort statistics.
+//!
+//! The paper reports, for every experiment, the number of configurations
+//! examined (candidates popped off `Q`) and the maximum queue size — both
+//! machine-independent proxies for the `O(nNk² log Nk)` complexity claim.
+//! [`SearchStats`] captures the same counters (plus a few more) so the
+//! benchmark harness can regenerate the `Configs` / `MaxQSize` columns of
+//! Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters accumulated during a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Candidates popped off the main queue `Q` — the paper's “Configs”.
+    pub configs: u64,
+    /// Largest size reached by `Q` — the paper's “MaxQSize”.
+    pub max_queue: usize,
+    /// Candidates pushed onto `Q` (after surviving the prune check).
+    pub pushed: u64,
+    /// Candidates rejected or displaced by inferiority pruning.
+    pub pruned: u64,
+    /// Candidates rejected by the clock-period feasibility bounds.
+    pub bound_rejected: u64,
+    /// Number of wave-front advances (register/FIFO generations).
+    pub waves: u32,
+    /// Candidates skipped as stale when popped (already dominated).
+    pub stale_skipped: u64,
+}
+
+impl SearchStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> SearchStats {
+        SearchStats::default()
+    }
+
+    /// Records a push and keeps the running queue-size maximum.
+    #[inline]
+    pub(crate) fn record_push(&mut self, queue_len: usize) {
+        self.pushed += 1;
+        if queue_len > self.max_queue {
+            self.max_queue = queue_len;
+        }
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "configs={} maxQ={} pushed={} pruned={} bound-rejected={} waves={}",
+            self.configs, self.max_queue, self.pushed, self.pruned, self.bound_rejected, self.waves
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_push_tracks_max() {
+        let mut s = SearchStats::new();
+        s.record_push(3);
+        s.record_push(7);
+        s.record_push(5);
+        assert_eq!(s.pushed, 3);
+        assert_eq!(s.max_queue, 7);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let mut s = SearchStats::new();
+        s.configs = 42;
+        s.record_push(9);
+        let text = s.to_string();
+        assert!(text.contains("configs=42"));
+        assert!(text.contains("maxQ=9"));
+    }
+}

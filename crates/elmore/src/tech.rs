@@ -1,0 +1,177 @@
+//! Technology parameters: per-length wire RC for the chosen width/layer.
+
+use clockroute_geom::units::{CapPerLength, Capacitance, Length, ResPerLength, Resistance, Time};
+use serde::{Deserialize, Serialize};
+
+/// Interconnect technology parameters.
+///
+/// The paper assumes a *fixed wire width and layer assignment*, so wire
+/// electrical behaviour reduces to a uniform resistance and capacitance per
+/// unit length (§II). A grid edge of length `L` contributes resistance
+/// `r·L` and capacitance `c·L`, connected in the π configuration (half the
+/// capacitance at each end).
+///
+/// ```
+/// use clockroute_elmore::Technology;
+/// use clockroute_geom::units::Length;
+///
+/// let tech = Technology::paper_070nm();
+/// let (r, c) = tech.wire(Length::from_mm(1.0));
+/// assert!((r.ohms() - 1390.0).abs() < 1e-9);
+/// assert!((c.ff() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    unit_res: ResPerLength,
+    unit_cap: CapPerLength,
+}
+
+impl Technology {
+    /// Creates a technology from per-length wire parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(unit_res: ResPerLength, unit_cap: CapPerLength) -> Technology {
+        assert!(
+            unit_res.ohms_per_um() > 0.0 && unit_res.ohms_per_um().is_finite(),
+            "unit resistance must be positive and finite"
+        );
+        assert!(
+            unit_cap.ff_per_um() > 0.0 && unit_cap.ff_per_um().is_finite(),
+            "unit capacitance must be positive and finite"
+        );
+        Technology { unit_res, unit_cap }
+    }
+
+    /// The 0.07 µm global-wire parameter set used throughout the paper's
+    /// experiments (triple-wide wires; estimates after Cong & Pan).
+    ///
+    /// The paper does not print the raw numbers, so this set is
+    /// *calibrated* to reproduce the paper's observable anchors (see
+    /// `DESIGN.md` §3 and the tests in [`crate::calib`]):
+    ///
+    /// * optimal buffer separation ≈ 2.37 mm (19 edges @ 0.125 mm pitch);
+    /// * minimum buffered delay across 40 mm ≈ 2.74 ns;
+    /// * minimum feasible clock period 49 ps at 0.125 mm pitch, with the
+    ///   0.25 mm grid feasible at 53 ps but not 49 ps, and the 0.5 mm grid
+    ///   infeasible at both (Table II crossovers);
+    /// * zero-buffer rows of Table I (T = 84/67/62/53/49 ps) reproduced to
+    ///   within ~1 ps.
+    pub fn paper_070nm() -> Technology {
+        Technology::new(
+            ResPerLength::from_ohms_per_um(1.39),
+            CapPerLength::from_ff_per_um(0.0100),
+        )
+    }
+
+    /// Wire resistance per unit length.
+    #[inline]
+    pub fn unit_res(&self) -> ResPerLength {
+        self.unit_res
+    }
+
+    /// Wire capacitance per unit length.
+    #[inline]
+    pub fn unit_cap(&self) -> CapPerLength {
+        self.unit_cap
+    }
+
+    /// Total resistance and capacitance of a wire of length `len`.
+    #[inline]
+    pub fn wire(&self, len: Length) -> (Resistance, Capacitance) {
+        (self.unit_res * len, self.unit_cap * len)
+    }
+
+    /// Elmore delay contribution of traversing a wire of length `len` that
+    /// drives a downstream load `c_load`, per the π-model:
+    /// `R_wire · (c_load + C_wire / 2)`.
+    ///
+    /// This is the quantity the search algorithms add per grid edge
+    /// (Fig. 1 step 6 / Fig. 5 step 5).
+    #[inline]
+    pub fn wire_delay(&self, len: Length, c_load: Capacitance) -> Time {
+        let (r, c) = self.wire(len);
+        r * (c_load + c * 0.5)
+    }
+
+    /// The distributed `rc/2` delay of an unloaded wire of length `len`
+    /// (useful for quick lower bounds).
+    #[inline]
+    pub fn intrinsic_wire_delay(&self, len: Length) -> Time {
+        let (r, c) = self.wire(len);
+        r * c * 0.5
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology::paper_070nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_resistance() {
+        let _ = Technology::new(
+            ResPerLength::from_ohms_per_um(0.0),
+            CapPerLength::from_ff_per_um(0.01),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_negative_capacitance() {
+        let _ = Technology::new(
+            ResPerLength::from_ohms_per_um(1.0),
+            CapPerLength::from_ff_per_um(-0.01),
+        );
+    }
+
+    #[test]
+    fn wire_scales_linearly() {
+        let tech = Technology::paper_070nm();
+        let (r1, c1) = tech.wire(Length::from_um(100.0));
+        let (r2, c2) = tech.wire(Length::from_um(200.0));
+        assert!((r2.ohms() - 2.0 * r1.ohms()).abs() < 1e-9);
+        assert!((c2.ff() - 2.0 * c1.ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_delay_pi_model() {
+        let tech = Technology::paper_070nm();
+        let len = Length::from_mm(1.0);
+        let load = Capacitance::from_ff(23.4);
+        // Hand-computed: R = 1390 Ω, C = 10.0 fF;
+        // d = 1390 × (23.4 + 5.0) fF = 1390 × 28.4 Ω·fF = 39.476 ps.
+        let d = tech.wire_delay(len, load);
+        assert!((d.ps() - 39.476).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn wire_delay_superlinear_in_length() {
+        // Doubling the wire more than doubles its delay (quadratic term).
+        let tech = Technology::paper_070nm();
+        let load = Capacitance::from_ff(10.0);
+        let d1 = tech.wire_delay(Length::from_mm(1.0), load);
+        let d2 = tech.wire_delay(Length::from_mm(2.0), load);
+        assert!(d2 > d1 * 2.0);
+    }
+
+    #[test]
+    fn intrinsic_wire_delay_quadratic() {
+        let tech = Technology::paper_070nm();
+        let d1 = tech.intrinsic_wire_delay(Length::from_mm(1.0));
+        let d2 = tech.intrinsic_wire_delay(Length::from_mm(2.0));
+        assert!((d2.ps() - 4.0 * d1.ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper_technology() {
+        assert_eq!(Technology::default(), Technology::paper_070nm());
+    }
+}

@@ -1,0 +1,228 @@
+//! Axis-aligned rectangles on the routing grid.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed axis-aligned rectangle of grid points: both corners are
+/// *inclusive*, so `Rect::new(p, p)` covers exactly one grid point.
+///
+/// ```
+/// use clockroute_geom::{Point, Rect};
+/// let r = Rect::new(Point::new(2, 3), Point::new(5, 7));
+/// assert!(r.contains(Point::new(2, 3)));
+/// assert!(r.contains(Point::new(5, 7)));
+/// assert!(!r.contains(Point::new(6, 7)));
+/// assert_eq!(r.width(), 4);
+/// assert_eq!(r.height(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates the rectangle spanning `a` and `b` (any corner order).
+    pub fn new(a: Point, b: Point) -> Rect {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The lower-left (minimum) corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// The upper-right (maximum) corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Number of grid columns covered (≥ 1).
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.hi.x - self.lo.x + 1
+    }
+
+    /// Number of grid rows covered (≥ 1).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.hi.y - self.lo.y + 1
+    }
+
+    /// Number of grid points covered.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        u64::from(self.width()) * u64::from(self.height())
+    }
+
+    /// `true` if `p` lies inside the rectangle (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// `true` if the two rectangles share at least one grid point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The intersection of two rectangles, if non-empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y)),
+            hi: Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y)),
+        })
+    }
+
+    /// Grows the rectangle by `margin` grid points on every side, clamped
+    /// to the `width × height` grid.
+    pub fn inflate(&self, margin: u32, width: u32, height: u32) -> Rect {
+        Rect {
+            lo: Point::new(
+                self.lo.x.saturating_sub(margin),
+                self.lo.y.saturating_sub(margin),
+            ),
+            hi: Point::new(
+                (self.hi.x + margin).min(width.saturating_sub(1)),
+                (self.hi.y + margin).min(height.saturating_sub(1)),
+            ),
+        }
+    }
+
+    /// Iterates over every grid point covered by the rectangle, row-major.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        let lo = self.lo;
+        let hi = self.hi;
+        (lo.y..=hi.y).flat_map(move |y| (lo.x..=hi.x).map(move |x| Point::new(x, y)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_normalization() {
+        let r = Rect::new(Point::new(5, 7), Point::new(2, 3));
+        assert_eq!(r.lo(), Point::new(2, 3));
+        assert_eq!(r.hi(), Point::new(5, 7));
+    }
+
+    #[test]
+    fn single_point_rect() {
+        let r = Rect::new(Point::new(4, 4), Point::new(4, 4));
+        assert_eq!(r.area(), 1);
+        assert_eq!(r.width(), 1);
+        assert_eq!(r.height(), 1);
+        assert!(r.contains(Point::new(4, 4)));
+        assert_eq!(r.points().count(), 1);
+    }
+
+    #[test]
+    fn containment_boundaries() {
+        let r = Rect::new(Point::new(1, 1), Point::new(3, 3));
+        assert!(r.contains(Point::new(1, 3)));
+        assert!(r.contains(Point::new(3, 1)));
+        assert!(!r.contains(Point::new(0, 2)));
+        assert!(!r.contains(Point::new(2, 4)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(Point::new(0, 0), Point::new(4, 4));
+        let b = Rect::new(Point::new(3, 3), Point::new(6, 6));
+        let c = Rect::new(Point::new(5, 0), Point::new(6, 2));
+        assert!(a.intersects(&b));
+        assert_eq!(
+            a.intersection(&b),
+            Some(Rect::new(Point::new(3, 3), Point::new(4, 4)))
+        );
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+        // Touching at a single point counts (inclusive coordinates).
+        let d = Rect::new(Point::new(4, 4), Point::new(8, 8));
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().area(), 1);
+    }
+
+    #[test]
+    fn inflate_clamps_to_grid() {
+        let r = Rect::new(Point::new(1, 1), Point::new(2, 2));
+        let g = r.inflate(3, 5, 5);
+        assert_eq!(g.lo(), Point::new(0, 0));
+        assert_eq!(g.hi(), Point::new(4, 4));
+    }
+
+    #[test]
+    fn points_iteration_row_major() {
+        let r = Rect::new(Point::new(1, 1), Point::new(2, 2));
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(1, 1),
+                Point::new(2, 1),
+                Point::new(1, 2),
+                Point::new(2, 2)
+            ]
+        );
+        assert_eq!(pts.len() as u64, r.area());
+    }
+
+    #[test]
+    fn display() {
+        let r = Rect::new(Point::new(0, 0), Point::new(1, 2));
+        assert_eq!(r.to_string(), "[(0, 0) .. (1, 2)]");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect() -> impl Strategy<Value = Rect> {
+        ((0u32..40, 0u32..40), (0u32..40, 0u32..40))
+            .prop_map(|((x0, y0), (x1, y1))| Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_commutative_and_contained(a in rect(), b in rect()) {
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            if let Some(i) = a.intersection(&b) {
+                for p in i.points() {
+                    prop_assert!(a.contains(p) && b.contains(p));
+                }
+                prop_assert!(i.area() <= a.area().min(b.area()));
+            } else {
+                // Disjoint: no point of a lies in b.
+                prop_assert!(a.points().all(|p| !b.contains(p)));
+            }
+        }
+
+        #[test]
+        fn area_equals_point_count(a in rect()) {
+            prop_assert_eq!(a.points().count() as u64, a.area());
+            prop_assert!(a.points().all(|p| a.contains(p)));
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Multi-net interconnect planning.
+//!
+//! The paper positions its algorithms as building blocks for
+//! *interconnect planning*: “routing estimates can be achieved during
+//! architectural explorations to assess communication overhead once an
+//! initial floorplan is constructed” (§I). A real plan involves many
+//! global nets that compete for routing tracks and insertion sites. This
+//! crate provides that layer:
+//!
+//! * [`NetSpec`] — one global net: terminals plus its clocking
+//!   requirement (combinational, single-domain registered, or two-domain
+//!   GALS);
+//! * [`Planner`] — plans a batch of nets **sequentially with resource
+//!   reservation**: after each net is routed, its edges are removed from
+//!   the shared grid and its insertion sites are blocked, so later nets
+//!   cannot overlap it (the classic sequential global-routing discipline;
+//!   the per-net searches remain optimal w.r.t. the remaining resources);
+//! * [`Plan`] / [`NetResult`] — the outcome: per-net routes, latencies,
+//!   element counts, and aggregate statistics an RTL/architecture update
+//!   would consume.
+//!
+//! Net ordering matters in sequential planning; the planner routes nets
+//! in the order given (callers typically sort by criticality) and reports
+//! failures without aborting the batch.
+//!
+//! # Example
+//!
+//! ```
+//! use clockroute_plan::{NetSpec, Planner};
+//! use clockroute_grid::GridGraph;
+//! use clockroute_elmore::{Technology, GateLibrary};
+//! use clockroute_geom::{Point, units::{Length, Time}};
+//!
+//! let graph = GridGraph::open(30, 30, Length::from_um(500.0));
+//! let tech = Technology::paper_070nm();
+//! let lib = GateLibrary::paper_library();
+//! let nets = vec![
+//!     NetSpec::registered("a", Point::new(0, 0), Point::new(29, 5), Time::from_ps(400.0)),
+//!     NetSpec::registered("b", Point::new(0, 10), Point::new(29, 15), Time::from_ps(400.0)),
+//! ];
+//! let plan = Planner::new(graph, tech, lib).plan(&nets);
+//! assert_eq!(plan.routed().count(), 2);
+//! ```
+
+use clockroute_core::{FastPathSpec, GalsSpec, RbpSpec, RouteError, RoutedPath};
+use clockroute_elmore::{GateLibrary, Technology};
+use clockroute_geom::units::{Length, Time};
+use clockroute_geom::Point;
+use clockroute_grid::GridGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Clocking requirement of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetKind {
+    /// Minimum-delay buffered net (fast path), no synchronizers.
+    Combinational,
+    /// Single-domain registered net at the given period (RBP).
+    Registered {
+        /// Clock period.
+        period: Time,
+    },
+    /// Two-domain net through an MCFIFO (GALS).
+    Gals {
+        /// Sender period.
+        t_s: Time,
+        /// Receiver period.
+        t_t: Time,
+    },
+}
+
+/// One global net to plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Human-readable identifier.
+    pub name: String,
+    /// Source grid point.
+    pub source: Point,
+    /// Sink grid point.
+    pub sink: Point,
+    /// Clocking requirement.
+    pub kind: NetKind,
+}
+
+impl NetSpec {
+    /// A combinational (fast path) net.
+    pub fn combinational(name: &str, source: Point, sink: Point) -> NetSpec {
+        NetSpec {
+            name: name.to_owned(),
+            source,
+            sink,
+            kind: NetKind::Combinational,
+        }
+    }
+
+    /// A registered single-domain net.
+    pub fn registered(name: &str, source: Point, sink: Point, period: Time) -> NetSpec {
+        NetSpec {
+            name: name.to_owned(),
+            source,
+            sink,
+            kind: NetKind::Registered { period },
+        }
+    }
+
+    /// A two-domain (GALS) net.
+    pub fn gals(name: &str, source: Point, sink: Point, t_s: Time, t_t: Time) -> NetSpec {
+        NetSpec {
+            name: name.to_owned(),
+            source,
+            sink,
+            kind: NetKind::Gals { t_s, t_t },
+        }
+    }
+}
+
+/// Result of planning one net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetResult {
+    /// The net's name.
+    pub name: String,
+    /// The synthesized route (when successful).
+    pub path: Option<RoutedPath>,
+    /// End-to-end latency: path delay for combinational nets, cycle
+    /// latency otherwise.
+    pub latency: Option<Time>,
+    /// Pipeline depth in cycles (1 for combinational nets).
+    pub cycles: Option<usize>,
+    /// Total wirelength.
+    pub wirelength: Option<Length>,
+    /// Failure reason, if the net could not be routed.
+    pub error: Option<RouteError>,
+}
+
+impl NetResult {
+    /// `true` if the net was routed.
+    pub fn is_routed(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+impl fmt::Display for NetResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.path, &self.error) {
+            (Some(path), _) => write!(
+                f,
+                "{}: {} cycles, latency {:.0}, {} registers, {} buffers, {:.1} mm",
+                self.name,
+                self.cycles.unwrap_or(0),
+                self.latency.unwrap_or(Time::ZERO),
+                path.register_count() + path.fifo_count(),
+                path.buffer_count(),
+                self.wirelength.unwrap_or(Length::ZERO).mm(),
+            ),
+            (None, Some(e)) => write!(f, "{}: FAILED ({e})", self.name),
+            (None, None) => write!(f, "{}: not planned", self.name),
+        }
+    }
+}
+
+/// A completed plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    results: Vec<NetResult>,
+}
+
+impl Plan {
+    /// Per-net results, in planning order.
+    pub fn results(&self) -> &[NetResult] {
+        &self.results
+    }
+
+    /// Iterates over successfully routed nets.
+    pub fn routed(&self) -> impl Iterator<Item = &NetResult> {
+        self.results.iter().filter(|r| r.is_routed())
+    }
+
+    /// Iterates over failed nets.
+    pub fn failed(&self) -> impl Iterator<Item = &NetResult> {
+        self.results.iter().filter(|r| !r.is_routed())
+    }
+
+    /// Total wirelength over all routed nets.
+    pub fn total_wirelength(&self) -> Length {
+        self.routed().filter_map(|r| r.wirelength).sum()
+    }
+
+    /// Total synchronizer count (registers + FIFOs) over routed nets.
+    pub fn total_synchronizers(&self) -> usize {
+        self.routed()
+            .filter_map(|r| r.path.as_ref())
+            .map(|p| p.register_count() + p.fifo_count())
+            .sum()
+    }
+
+    /// Worst pipeline depth among routed nets.
+    pub fn max_cycles(&self) -> Option<usize> {
+        self.routed().filter_map(|r| r.cycles).max()
+    }
+}
+
+/// Sequential multi-net planner with resource reservation.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    graph: GridGraph,
+    tech: Technology,
+    lib: GateLibrary,
+    reserve_routes: bool,
+}
+
+impl Planner {
+    /// Creates a planner over (a private copy of) the grid.
+    pub fn new(graph: GridGraph, tech: Technology, lib: GateLibrary) -> Planner {
+        Planner {
+            graph,
+            tech,
+            lib,
+            reserve_routes: true,
+        }
+    }
+
+    /// Disables resource reservation (nets may overlap freely) — useful
+    /// for pure latency estimation during early exploration.
+    pub fn reserve_routes(mut self, reserve: bool) -> Planner {
+        self.reserve_routes = reserve;
+        self
+    }
+
+    /// The current grid state (reflecting reservations made so far).
+    pub fn graph(&self) -> &GridGraph {
+        &self.graph
+    }
+
+    /// Plans the nets in order. Failures are recorded, not fatal.
+    pub fn plan(mut self, nets: &[NetSpec]) -> Plan {
+        let mut results = Vec::with_capacity(nets.len());
+        for net in nets {
+            let outcome = self.route_net(net);
+            let result = match outcome {
+                Ok((path, latency, cycles)) => {
+                    if self.reserve_routes {
+                        self.reserve(&path, net);
+                    }
+                    NetResult {
+                        name: net.name.clone(),
+                        latency: Some(latency),
+                        cycles: Some(cycles),
+                        wirelength: Some(path.wirelength(&self.graph)),
+                        path: Some(path),
+                        error: None,
+                    }
+                }
+                Err(e) => NetResult {
+                    name: net.name.clone(),
+                    path: None,
+                    latency: None,
+                    cycles: None,
+                    wirelength: None,
+                    error: Some(e),
+                },
+            };
+            results.push(result);
+        }
+        Plan { results }
+    }
+
+    fn route_net(&self, net: &NetSpec) -> Result<(RoutedPath, Time, usize), RouteError> {
+        match net.kind {
+            NetKind::Combinational => {
+                let sol = FastPathSpec::new(&self.graph, &self.tech, &self.lib)
+                    .source(net.source)
+                    .sink(net.sink)
+                    .solve()?;
+                Ok((sol.path().clone(), sol.delay(), 1))
+            }
+            NetKind::Registered { period } => {
+                let sol = RbpSpec::new(&self.graph, &self.tech, &self.lib)
+                    .source(net.source)
+                    .sink(net.sink)
+                    .period(period)
+                    .solve()?;
+                Ok((
+                    sol.path().clone(),
+                    sol.latency(),
+                    sol.register_count() + 1,
+                ))
+            }
+            NetKind::Gals { t_s, t_t } => {
+                let sol = GalsSpec::new(&self.graph, &self.tech, &self.lib)
+                    .source(net.source)
+                    .sink(net.sink)
+                    .periods(t_s, t_t)
+                    .solve()?;
+                Ok((
+                    sol.path().clone(),
+                    sol.latency(),
+                    sol.regs_source_side() + sol.regs_sink_side() + 2,
+                ))
+            }
+        }
+    }
+
+    /// Reserves a routed net's resources: its edges are removed from the
+    /// grid and its gate sites become placement-blocked (terminals stay
+    /// usable — they belong to the blocks, not the channel).
+    fn reserve(&mut self, path: &RoutedPath, net: &NetSpec) {
+        let points = path.points().to_vec();
+        for w in points.windows(2) {
+            self.graph.blockage_mut().block_edge(w[0], w[1]);
+        }
+        for (pt, _) in path.gates() {
+            if pt != net.source && pt != net.sink {
+                self.graph.blockage_mut().block_node(pt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u32) -> (GridGraph, Technology, GateLibrary) {
+        (
+            GridGraph::open(n, n, Length::from_um(500.0)),
+            Technology::paper_070nm(),
+            GateLibrary::paper_library(),
+        )
+    }
+
+    fn p(x: u32, y: u32) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn plans_mixed_net_kinds() {
+        let (g, tech, lib) = setup(30);
+        let nets = vec![
+            NetSpec::combinational("comb", p(0, 0), p(29, 2)),
+            NetSpec::registered("reg", p(0, 6), p(29, 8), Time::from_ps(350.0)),
+            NetSpec::gals(
+                "xdomain",
+                p(0, 12),
+                p(29, 14),
+                Time::from_ps(300.0),
+                Time::from_ps(400.0),
+            ),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.routed().count(), 3);
+        assert_eq!(plan.failed().count(), 0);
+        let comb = &plan.results()[0];
+        assert_eq!(comb.cycles, Some(1));
+        let gals = &plan.results()[2];
+        assert_eq!(gals.path.as_ref().unwrap().fifo_count(), 1);
+        assert!(plan.total_wirelength().mm() > 40.0);
+        assert!(plan.max_cycles().unwrap() >= 2);
+    }
+
+    #[test]
+    fn reserved_routes_do_not_overlap() {
+        let (g, tech, lib) = setup(20);
+        // Two nets with the same terminals row: the second must detour.
+        let nets = vec![
+            NetSpec::registered("n0", p(0, 10), p(19, 10), Time::from_ps(400.0)),
+            NetSpec::registered("n1", p(0, 9), p(19, 11), Time::from_ps(400.0)),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.routed().count(), 2);
+        let a: std::collections::HashSet<(Point, Point)> = plan.results()[0]
+            .path
+            .as_ref()
+            .unwrap()
+            .points()
+            .windows(2)
+            .map(|w| ord_edge(w[0], w[1]))
+            .collect();
+        let b_path = plan.results()[1].path.as_ref().unwrap();
+        for w in b_path.points().windows(2) {
+            assert!(
+                !a.contains(&ord_edge(w[0], w[1])),
+                "nets share edge {:?}",
+                (w[0], w[1])
+            );
+        }
+    }
+
+    fn ord_edge(a: Point, b: Point) -> (Point, Point) {
+        if (a.x, a.y) <= (b.x, b.y) {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    #[test]
+    fn without_reservation_nets_may_share() {
+        let (g, tech, lib) = setup(12);
+        let nets = vec![
+            NetSpec::combinational("n0", p(0, 5), p(11, 5)),
+            NetSpec::combinational("n1", p(0, 5), p(11, 5)),
+        ];
+        let plan = Planner::new(g, tech, lib).reserve_routes(false).plan(&nets);
+        assert_eq!(plan.routed().count(), 2);
+        // Same terminals, same grid ⇒ identical optimal routes.
+        assert_eq!(
+            plan.results()[0].path.as_ref().unwrap().points(),
+            plan.results()[1].path.as_ref().unwrap().points()
+        );
+    }
+
+    #[test]
+    fn failures_recorded_not_fatal() {
+        let (g, tech, lib) = setup(12);
+        let nets = vec![
+            NetSpec::registered("impossible", p(0, 0), p(11, 11), Time::from_ps(30.0)),
+            NetSpec::combinational("fine", p(0, 2), p(11, 2)),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.failed().count(), 1);
+        assert_eq!(plan.routed().count(), 1);
+        assert_eq!(
+            plan.results()[0].error,
+            Some(RouteError::NoFeasibleRoute)
+        );
+        assert!(plan.results()[0].to_string().contains("FAILED"));
+        assert!(plan.results()[1].is_routed());
+    }
+
+    #[test]
+    fn congestion_can_exhaust_resources() {
+        // A 1-row channel: after the first net eats the row, the second
+        // has no edges left.
+        let g = GridGraph::open(10, 1, Length::from_um(500.0));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let nets = vec![
+            NetSpec::combinational("n0", p(0, 0), p(9, 0)),
+            NetSpec::combinational("n1", p(0, 0), p(9, 0)),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.routed().count(), 1);
+        assert_eq!(plan.failed().count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (g, tech, lib) = setup(12);
+        let nets = vec![NetSpec::registered(
+            "link",
+            p(0, 0),
+            p(11, 11),
+            Time::from_ps(400.0),
+        )];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        let text = plan.results()[0].to_string();
+        assert!(text.starts_with("link:"), "{text}");
+        assert!(text.contains("cycles"));
+    }
+}

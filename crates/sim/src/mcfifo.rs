@@ -1,0 +1,181 @@
+//! The Chelcea–Nowick mixed-clock FIFO (paper Fig. 7).
+//!
+//! A bounded queue with a **put** interface clocked by the sender domain
+//! and a **get** interface clocked by the receiver domain. `full` gates
+//! puts, `empty` gates gets; the real circuit adds synchronizers on the
+//! flag crossings to contain metastability — the behavioural model here
+//! assumes those flags are conservative by one cycle, which is the
+//! worst-case behaviour the paper's latency discussion abstracts away as
+//! "common to all routing solutions".
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Behavioural mixed-clock FIFO.
+///
+/// ```
+/// use clockroute_sim::McFifo;
+///
+/// let mut fifo = McFifo::new(4);
+/// assert!(fifo.is_empty());
+/// assert!(fifo.try_put(7));
+/// assert_eq!(fifo.try_get(), Some(7));
+/// assert_eq!(fifo.try_get(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McFifo {
+    capacity: usize,
+    items: VecDeque<usize>,
+    puts: u64,
+    gets: u64,
+    rejected_puts: u64,
+    empty_gets: u64,
+    max_occupancy: usize,
+}
+
+impl McFifo {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> McFifo {
+        assert!(capacity > 0, "capacity must be non-zero");
+        McFifo {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            puts: 0,
+            gets: 0,
+            rejected_puts: 0,
+            empty_gets: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `empty` flag (receiver side).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `full` flag (sender side).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Put attempt at a sender clock edge. Returns `false` (datum must be
+    /// retried / held upstream) when `full`.
+    pub fn try_put(&mut self, token: usize) -> bool {
+        if self.is_full() {
+            self.rejected_puts += 1;
+            return false;
+        }
+        self.items.push_back(token);
+        self.puts += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        true
+    }
+
+    /// Get attempt at a receiver clock edge. Returns `None` (the `Get is
+    /// Valid` signal de-asserted) when `empty`.
+    pub fn try_get(&mut self) -> Option<usize> {
+        let token = self.items.pop_front();
+        if token.is_some() {
+            self.gets += 1;
+        } else {
+            self.empty_gets += 1;
+        }
+        token
+    }
+
+    /// Successful puts so far.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Successful gets so far.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// Puts rejected by `full`.
+    pub fn rejected_puts(&self) -> u64 {
+        self.rejected_puts
+    }
+
+    /// Gets attempted while `empty`.
+    pub fn empty_gets(&self) -> u64 {
+        self.empty_gets
+    }
+
+    /// Highest occupancy observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = McFifo::new(0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = McFifo::new(8);
+        for i in 0..5 {
+            assert!(f.try_put(i));
+        }
+        for i in 0..5 {
+            assert_eq!(f.try_get(), Some(i));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn full_rejects_puts() {
+        let mut f = McFifo::new(2);
+        assert!(f.try_put(0));
+        assert!(f.try_put(1));
+        assert!(f.is_full());
+        assert!(!f.try_put(2));
+        assert_eq!(f.rejected_puts(), 1);
+        assert_eq!(f.try_get(), Some(0));
+        assert!(f.try_put(2));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_gets_counted() {
+        let mut f = McFifo::new(2);
+        assert_eq!(f.try_get(), None);
+        assert_eq!(f.empty_gets(), 1);
+        assert_eq!(f.gets(), 0);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut f = McFifo::new(4);
+        for i in 0..3 {
+            f.try_put(i);
+        }
+        f.try_get();
+        f.try_put(9);
+        assert_eq!(f.max_occupancy(), 3);
+        assert_eq!(f.puts(), 4);
+        assert_eq!(f.gets(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper §I's *first* solution to multi-cycle routing: a purely
+//! combinational channel where the receiver counts a predesignated
+//! number of cycles before latching.
+//!
+//! No synchronizers are inserted; the signal simply takes
+//! `k = ⌈delay / T⌉` cycles to settle, and — the disadvantage the paper
+//! calls out — **consecutive sends cannot overlap**, so the channel's
+//! throughput collapses to one datum per `k` cycles. This model exists
+//! to quantify that trade-off against RBP pipelining
+//! (`examples/three_solutions.rs`).
+
+use clockroute_geom::units::Time;
+use serde::{Deserialize, Serialize};
+
+/// Simulation results for a multi-cycle combinational channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiCycleReport {
+    /// Cycles the receiver must wait per datum (`k`).
+    pub wait_cycles: u32,
+    /// First-datum arrival time `k·T`.
+    pub first_arrival: Time,
+    /// Arrival time of the last datum.
+    pub last_arrival: Time,
+    /// Tokens delivered.
+    pub delivered: usize,
+    /// Delivered tokens per receiver cycle (`1/k` in steady state).
+    pub throughput_tokens_per_cycle: f64,
+}
+
+/// A combinational channel with a cycle-counting receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiCycleChannel {
+    delay: Time,
+    period: Time,
+}
+
+impl MultiCycleChannel {
+    /// Creates a channel with the given end-to-end combinational delay,
+    /// clocked at `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period or delay is not strictly positive and finite.
+    pub fn new(delay: Time, period: Time) -> MultiCycleChannel {
+        assert!(
+            period.ps() > 0.0 && period.is_finite(),
+            "period must be positive and finite"
+        );
+        assert!(
+            delay.ps() > 0.0 && delay.is_finite(),
+            "delay must be positive and finite"
+        );
+        MultiCycleChannel { delay, period }
+    }
+
+    /// The number of receiver cycles per datum: `⌈delay / T⌉`.
+    pub fn wait_cycles(&self) -> u32 {
+        (self.delay.ps() / self.period.ps()).ceil().max(1.0) as u32
+    }
+
+    /// Analytic latency `k·T`.
+    pub fn analytic_latency(&self) -> Time {
+        self.period * f64::from(self.wait_cycles())
+    }
+
+    /// Simulates `tokens` consecutive (non-overlapped) sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn simulate(&self, tokens: usize) -> MultiCycleReport {
+        assert!(tokens > 0, "need at least one token");
+        let k = self.wait_cycles();
+        // Send i launches at (i·k)·T and is latched at (i·k + k)·T.
+        let first_arrival = self.period * f64::from(k);
+        let last_cycle = (tokens as u64) * u64::from(k);
+        let last_arrival = self.period * last_cycle as f64;
+        MultiCycleReport {
+            wait_cycles: k,
+            first_arrival,
+            last_arrival,
+            delivered: tokens,
+            throughput_tokens_per_cycle: 1.0 / f64::from(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_cycles_round_up() {
+        let ch = MultiCycleChannel::new(Time::from_ps(1370.0), Time::from_ps(300.0));
+        assert_eq!(ch.wait_cycles(), 5);
+        assert_eq!(ch.analytic_latency(), Time::from_ps(1500.0));
+        // Exact multiple.
+        let ch = MultiCycleChannel::new(Time::from_ps(900.0), Time::from_ps(300.0));
+        assert_eq!(ch.wait_cycles(), 3);
+        // Sub-cycle delay still costs one cycle.
+        let ch = MultiCycleChannel::new(Time::from_ps(100.0), Time::from_ps(300.0));
+        assert_eq!(ch.wait_cycles(), 1);
+    }
+
+    #[test]
+    fn throughput_is_one_over_k() {
+        let ch = MultiCycleChannel::new(Time::from_ps(1000.0), Time::from_ps(300.0));
+        let r = ch.simulate(10);
+        assert_eq!(r.wait_cycles, 4);
+        assert!((r.throughput_tokens_per_cycle - 0.25).abs() < 1e-12);
+        assert_eq!(r.first_arrival, Time::from_ps(1200.0));
+        assert_eq!(r.last_arrival, Time::from_ps(12000.0));
+        assert_eq!(r.delivered, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_delay_rejected() {
+        let _ = MultiCycleChannel::new(Time::ZERO, Time::from_ps(100.0));
+    }
+}

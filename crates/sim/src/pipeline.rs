@@ -1,0 +1,228 @@
+//! Cycle-accurate model of a single-clock registered route.
+
+use clockroute_geom::units::Time;
+use serde::{Deserialize, Serialize};
+
+/// When the sink refuses to consume a token (back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallPattern {
+    /// The sink consumes every cycle.
+    None,
+    /// The sink stalls on every `k`-th cycle (`k ≥ 2`).
+    EveryKth(u32),
+    /// The sink stalls for `len` cycles starting at cycle `start`.
+    Burst { start: u64, len: u64 },
+}
+
+impl StallPattern {
+    fn stalled(&self, cycle: u64) -> bool {
+        match *self {
+            StallPattern::None => false,
+            StallPattern::EveryKth(k) => cycle.is_multiple_of(u64::from(k.max(2))),
+            StallPattern::Burst { start, len } => cycle >= start && cycle < start + len,
+        }
+    }
+}
+
+/// Simulation results for a registered pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Time at which the first token reached the sink.
+    pub first_arrival: Time,
+    /// Time at which the last token reached the sink.
+    pub last_arrival: Time,
+    /// Tokens delivered.
+    pub delivered: usize,
+    /// Delivered tokens per elapsed sink-clock cycle.
+    pub throughput_tokens_per_cycle: f64,
+    /// Maximum number of tokens simultaneously in flight.
+    pub max_in_flight: usize,
+}
+
+/// A source → p registers → sink pipeline, all on one clock.
+///
+/// This is the hardware realised by an RBP solution with `p` inserted
+/// registers: the paper's latency claim is `T_φ × (p + 1)` because a
+/// register releases its datum at every clock switch (§III, Fig. 2).
+///
+/// The model is a synchronous shift register **without** intermediate
+/// flow control: a stalled sink while data is in flight would lose a
+/// token in real hardware too, which is why relay stations exist —
+/// [`RelayChain`](crate::RelayChain) models that upgrade. Here the source
+/// simply pauses while the sink stalls (global stall), which preserves
+/// tokens and matches how a simple registered route must be operated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegisterPipeline {
+    registers: usize,
+    period: Time,
+}
+
+impl RegisterPipeline {
+    /// Creates a pipeline with the given number of *internal* registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not strictly positive and finite.
+    pub fn new(registers: usize, period: Time) -> RegisterPipeline {
+        assert!(
+            period.ps() > 0.0 && period.is_finite(),
+            "period must be positive and finite"
+        );
+        RegisterPipeline { registers, period }
+    }
+
+    /// Number of internal registers `p`.
+    pub fn registers(&self) -> usize {
+        self.registers
+    }
+
+    /// The clock period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Analytic first-token latency `T_φ × (p + 1)`.
+    pub fn analytic_latency(&self) -> Time {
+        self.period * (self.registers as f64 + 1.0)
+    }
+
+    /// Simulates the delivery of `tokens` tokens.
+    ///
+    /// Time convention: the source launches the first token at `t = 0`;
+    /// a token that leaves the last register at cycle `k` is captured by
+    /// the sink at `t = k·T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn simulate(&self, tokens: usize, stalls: StallPattern) -> PipelineReport {
+        assert!(tokens > 0, "need at least one token");
+        // slots[i] = token occupying register i (0 = nearest source).
+        let mut slots: Vec<Option<usize>> = vec![None; self.registers];
+        let mut launched = 0usize;
+        let mut delivered = 0usize;
+        let mut first_arrival = Time::ZERO;
+        let mut last_arrival = Time::ZERO;
+        let mut max_in_flight = 0usize;
+        let mut cycle: u64 = 0;
+        // A global stall freezes the whole shift register for that edge.
+        while delivered < tokens {
+            cycle += 1;
+            let now = self.period * cycle as f64;
+            if stalls.stalled(cycle) {
+                continue;
+            }
+            // Shift towards the sink: the datum in the last register (or
+            // straight from the source when p = 0) is captured now.
+            let leaving = if self.registers == 0 {
+                if launched < tokens {
+                    launched += 1;
+                    Some(launched - 1)
+                } else {
+                    None
+                }
+            } else {
+                let out = slots[self.registers - 1].take();
+                for i in (1..self.registers).rev() {
+                    slots[i] = slots[i - 1].take();
+                }
+                slots[0] = if launched < tokens {
+                    launched += 1;
+                    Some(launched - 1)
+                } else {
+                    None
+                };
+                out
+            };
+            if let Some(tok) = leaving {
+                if tok == 0 {
+                    first_arrival = now;
+                }
+                delivered += 1;
+                last_arrival = now;
+            }
+            let in_flight = slots.iter().filter(|s| s.is_some()).count();
+            max_in_flight = max_in_flight.max(in_flight);
+        }
+        PipelineReport {
+            first_arrival,
+            last_arrival,
+            delivered,
+            throughput_tokens_per_cycle: delivered as f64 / cycle as f64,
+            max_in_flight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = RegisterPipeline::new(1, Time::ZERO);
+    }
+
+    #[test]
+    fn latency_matches_paper_formula() {
+        // Fig. 2: three registers between s and t ⇒ four cycles.
+        for p in 0..6 {
+            let t = Time::from_ps(250.0);
+            let pipe = RegisterPipeline::new(p, t);
+            let report = pipe.simulate(10, StallPattern::None);
+            assert_eq!(
+                report.first_arrival,
+                pipe.analytic_latency(),
+                "p = {p}: simulated {} vs analytic {}",
+                report.first_arrival,
+                pipe.analytic_latency()
+            );
+        }
+    }
+
+    #[test]
+    fn full_throughput_without_stalls() {
+        let pipe = RegisterPipeline::new(4, Time::from_ps(100.0));
+        let report = pipe.simulate(200, StallPattern::None);
+        assert_eq!(report.delivered, 200);
+        // 200 tokens in 200 + 4 cycles.
+        assert!(report.throughput_tokens_per_cycle > 0.97);
+        // Consecutive sends overlap: the pipeline actually fills.
+        assert_eq!(report.max_in_flight, 4);
+    }
+
+    #[test]
+    fn stalls_reduce_throughput_proportionally() {
+        let pipe = RegisterPipeline::new(2, Time::from_ps(100.0));
+        let report = pipe.simulate(300, StallPattern::EveryKth(3));
+        // One cycle in three is lost.
+        assert!(
+            (report.throughput_tokens_per_cycle - 2.0 / 3.0).abs() < 0.02,
+            "throughput {}",
+            report.throughput_tokens_per_cycle
+        );
+        assert_eq!(report.delivered, 300);
+    }
+
+    #[test]
+    fn burst_stall_delays_but_loses_nothing() {
+        let pipe = RegisterPipeline::new(3, Time::from_ps(100.0));
+        let clean = pipe.simulate(50, StallPattern::None);
+        let stalled = pipe.simulate(50, StallPattern::Burst { start: 10, len: 20 });
+        assert_eq!(stalled.delivered, 50);
+        assert_eq!(
+            stalled.last_arrival,
+            clean.last_arrival + Time::from_ps(100.0) * 20.0
+        );
+    }
+
+    #[test]
+    fn tokens_arrive_in_order_exactly_once() {
+        // Deliver a modest stream and check the count/time bookkeeping.
+        let pipe = RegisterPipeline::new(5, Time::from_ps(50.0));
+        let report = pipe.simulate(37, StallPattern::EveryKth(4));
+        assert_eq!(report.delivered, 37);
+        assert!(report.last_arrival > report.first_arrival);
+    }
+}

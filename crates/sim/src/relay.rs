@@ -1,0 +1,242 @@
+//! Relay stations (Carloni et al.): pipelining *with* flow control.
+//!
+//! A relay station holds a **main** and an **auxiliary** register
+//! (paper Fig. 8). In normal operation the main register forwards one
+//! packet per cycle. When the downstream neighbour asserts `Stop`, the
+//! signal is observed one cycle late — the packet already in flight lands
+//! in the auxiliary register, after which the station is `Full` and
+//! asserts `Stop` upstream. A chain of relay stations therefore behaves
+//! as a distributed FIFO of capacity `2 × stations` that never drops a
+//! packet despite the one-cycle handshake latency.
+
+use clockroute_geom::units::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::StallPattern;
+
+/// One relay station: 0, 1 or 2 packets stored.
+#[derive(Debug, Clone, Default)]
+struct Station {
+    /// Stored packets, oldest first (len ≤ 2; index 0 = main register).
+    slots: Vec<usize>,
+    /// `Stop` asserted toward upstream (computed last cycle).
+    stop_out: bool,
+}
+
+/// Simulation results for a relay chain run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayChainReport {
+    /// Time of first packet delivery at the sink.
+    pub first_arrival: Time,
+    /// Time of last packet delivery.
+    pub last_arrival: Time,
+    /// Packets delivered, in order.
+    pub delivered: usize,
+    /// Delivered packets per elapsed cycle.
+    pub throughput_tokens_per_cycle: f64,
+    /// Highest total occupancy observed across the chain.
+    pub max_occupancy: usize,
+    /// `true` if any station ever exceeded its 2-packet capacity
+    /// (a protocol violation — must always be `false`).
+    pub overflowed: bool,
+}
+
+/// A chain of relay stations on a single clock.
+///
+/// ```
+/// use clockroute_sim::{RelayChain, StallPattern};
+/// use clockroute_geom::units::Time;
+///
+/// let chain = RelayChain::new(4, Time::from_ps(200.0));
+/// let report = chain.simulate(50, StallPattern::None);
+/// assert_eq!(report.first_arrival, Time::from_ps(1000.0)); // 5 cycles
+/// assert!(!report.overflowed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelayChain {
+    stations: usize,
+    period: Time,
+}
+
+impl RelayChain {
+    /// Creates a chain of `stations` relay stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not strictly positive and finite.
+    pub fn new(stations: usize, period: Time) -> RelayChain {
+        assert!(
+            period.ps() > 0.0 && period.is_finite(),
+            "period must be positive and finite"
+        );
+        RelayChain { stations, period }
+    }
+
+    /// Number of relay stations.
+    pub fn stations(&self) -> usize {
+        self.stations
+    }
+
+    /// Analytic first-packet latency `T × (stations + 1)`.
+    pub fn analytic_latency(&self) -> Time {
+        self.period * (self.stations as f64 + 1.0)
+    }
+
+    /// Simulates delivery of `tokens` packets with the sink applying the
+    /// given stall pattern. Unlike the bare
+    /// [`RegisterPipeline`](crate::RegisterPipeline), the source keeps
+    /// sending while stalls ripple upstream through `Stop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn simulate(&self, tokens: usize, stalls: StallPattern) -> RelayChainReport {
+        assert!(tokens > 0, "need at least one packet");
+        let n = self.stations;
+        let mut stations: Vec<Station> = (0..n).map(|_| Station::default()).collect();
+        let mut launched = 0usize;
+        let mut delivered = 0usize;
+        let mut first_arrival = Time::ZERO;
+        let mut last_arrival = Time::ZERO;
+        let mut max_occupancy = 0usize;
+        let mut overflowed = false;
+        let mut cycle: u64 = 0;
+
+        while delivered < tokens {
+            cycle += 1;
+            let now = self.period * cycle as f64;
+            let sink_stalled = stalls_check(stalls, cycle);
+
+            // Each station decides based on the *previous* cycle's stop
+            // signals (one-cycle observation latency).
+            let prev_stop: Vec<bool> = stations.iter().map(|s| s.stop_out).collect();
+
+            // Move packets from the last station to the sink.
+            if n > 0 {
+                if !sink_stalled {
+                    if let Some(tok) = pop_front(&mut stations[n - 1].slots) {
+                        if tok == 0 {
+                            first_arrival = now;
+                        }
+                        delivered += 1;
+                        last_arrival = now;
+                    }
+                }
+            } else if !sink_stalled && launched < tokens {
+                launched += 1;
+                let tok = launched - 1;
+                if tok == 0 {
+                    first_arrival = now;
+                }
+                delivered += 1;
+                last_arrival = now;
+            }
+
+            // Move packets between stations, downstream first. Station i
+            // sends to i+1 if it did not observe stop from i+1 last cycle.
+            for i in (0..n.saturating_sub(1)).rev() {
+                if !prev_stop[i + 1] && !stations[i].slots.is_empty() {
+                    if let Some(tok) = pop_front(&mut stations[i].slots) {
+                        stations[i + 1].slots.push(tok);
+                    }
+                }
+            }
+
+            // Source injects into station 0 unless it observed stop.
+            if n > 0 && launched < tokens && !prev_stop[0] {
+                launched += 1;
+                stations[0].slots.push(launched - 1);
+            }
+
+            // Update stop signals and bookkeeping.
+            let mut occupancy = 0;
+            for s in &mut stations {
+                if s.slots.len() > 2 {
+                    overflowed = true;
+                }
+                s.stop_out = s.slots.len() >= 2;
+                occupancy += s.slots.len();
+            }
+            max_occupancy = max_occupancy.max(occupancy);
+
+            // Safety: bail out if the protocol deadlocks (cannot happen
+            // with these rules; the bound is generous).
+            if cycle > (tokens as u64 + n as u64 + 16) * 16 {
+                break;
+            }
+        }
+        RelayChainReport {
+            first_arrival,
+            last_arrival,
+            delivered,
+            throughput_tokens_per_cycle: delivered as f64 / cycle.max(1) as f64,
+            max_occupancy,
+            overflowed,
+        }
+    }
+}
+
+fn stalls_check(p: StallPattern, cycle: u64) -> bool {
+    match p {
+        StallPattern::None => false,
+        StallPattern::EveryKth(k) => cycle.is_multiple_of(u64::from(k.max(2))),
+        StallPattern::Burst { start, len } => cycle >= start && cycle < start + len,
+    }
+}
+
+fn pop_front(v: &mut Vec<usize>) -> Option<usize> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_register_count() {
+        for n in 0..6 {
+            let chain = RelayChain::new(n, Time::from_ps(100.0));
+            let r = chain.simulate(5, StallPattern::None);
+            assert_eq!(r.first_arrival, chain.analytic_latency(), "n = {n}");
+            assert!(!r.overflowed);
+        }
+    }
+
+    #[test]
+    fn full_throughput_without_stalls() {
+        let chain = RelayChain::new(5, Time::from_ps(100.0));
+        let r = chain.simulate(100, StallPattern::None);
+        assert_eq!(r.delivered, 100);
+        assert!(r.throughput_tokens_per_cycle > 0.94);
+    }
+
+    #[test]
+    fn no_loss_under_burst_backpressure() {
+        let chain = RelayChain::new(6, Time::from_ps(100.0));
+        let r = chain.simulate(60, StallPattern::Burst { start: 8, len: 15 });
+        assert_eq!(r.delivered, 60, "packets lost under back-pressure");
+        assert!(!r.overflowed, "station capacity exceeded");
+        // During the stall the chain buffers up to 2 packets per station.
+        assert!(r.max_occupancy > 6, "aux registers never used");
+        assert!(r.max_occupancy <= 12);
+    }
+
+    #[test]
+    fn no_loss_under_periodic_backpressure() {
+        let chain = RelayChain::new(3, Time::from_ps(100.0));
+        let r = chain.simulate(200, StallPattern::EveryKth(3));
+        assert_eq!(r.delivered, 200);
+        assert!(!r.overflowed);
+        assert!((r.throughput_tokens_per_cycle - 2.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_period_rejected() {
+        let _ = RelayChain::new(2, Time::from_ps(-1.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the protocol simulators: whatever the clock
+//! ratio, pipeline depth and back-pressure pattern, the flow-control
+//! protocols must never lose, duplicate, or reorder tokens, and relay
+//! stations must never exceed their two-packet capacity.
+
+use clockroute_geom::units::Time;
+use clockroute_sim::{GalsLink, RegisterPipeline, RelayChain, StallPattern, WavePipe};
+use proptest::prelude::*;
+
+fn stall_pattern() -> impl Strategy<Value = StallPattern> {
+    prop_oneof![
+        Just(StallPattern::None),
+        (2u32..8).prop_map(StallPattern::EveryKth),
+        (1u64..20, 1u64..40).prop_map(|(start, len)| StallPattern::Burst { start, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn relay_chain_never_loses_or_overflows(
+        stations in 0usize..8,
+        period in 50.0f64..500.0,
+        tokens in 1usize..60,
+        stalls in stall_pattern(),
+    ) {
+        let chain = RelayChain::new(stations, Time::from_ps(period));
+        let r = chain.simulate(tokens, stalls);
+        prop_assert_eq!(r.delivered, tokens);
+        prop_assert!(!r.overflowed);
+        prop_assert!(r.max_occupancy <= 2 * stations.max(1));
+        prop_assert!(r.last_arrival >= r.first_arrival);
+    }
+
+    #[test]
+    fn register_pipeline_latency_formula_holds(
+        registers in 0usize..10,
+        period in 50.0f64..500.0,
+        tokens in 1usize..40,
+        stalls in stall_pattern(),
+    ) {
+        let pipe = RegisterPipeline::new(registers, Time::from_ps(period));
+        let r = pipe.simulate(tokens, stalls);
+        prop_assert_eq!(r.delivered, tokens);
+        // With stalls the first arrival can only be later than analytic.
+        prop_assert!(r.first_arrival.ps() >= pipe.analytic_latency().ps() - 1e-9);
+        if stalls == StallPattern::None {
+            prop_assert_eq!(r.first_arrival, pipe.analytic_latency());
+        }
+    }
+
+    #[test]
+    fn gals_link_never_loses_tokens(
+        rs in 0usize..5,
+        rt in 0usize..5,
+        ts in 80.0f64..500.0,
+        tt in 80.0f64..500.0,
+        cap in 1usize..6,
+        tokens in 1usize..50,
+        stalls in stall_pattern(),
+    ) {
+        let link = GalsLink::new(rs, rt, Time::from_ps(ts), Time::from_ps(tt), cap);
+        let r = link.simulate(tokens, stalls);
+        prop_assert_eq!(r.delivered, tokens, "lost tokens: {:?}", r);
+        prop_assert!(!r.overflowed);
+        prop_assert!(r.fifo_max_occupancy <= cap);
+    }
+
+    #[test]
+    fn wavepipe_safe_rate_never_collides(
+        d_max in 200.0f64..3000.0,
+        spread in 0.0f64..0.5,
+        margin in 0.0f64..50.0,
+        seed in 0u64..32,
+    ) {
+        let w = WavePipe::new(
+            Time::from_ps(d_max),
+            spread,
+            Time::from_ps(margin),
+            Time::from_ps(300.0),
+        );
+        let interval = Time::from_ps(w.min_launch_interval().ps() + 1e-6);
+        let r = w.simulate(100, interval, seed);
+        prop_assert_eq!(r.collisions, 0);
+        prop_assert_eq!(r.delivered, 100);
+    }
+}

@@ -1,0 +1,83 @@
+//! GALS bridge: route between two independently-clocked IPs and verify
+//! the synthesized link by protocol simulation.
+//!
+//! A hard IP (fixed 400 ps clock) must receive data from the SoC fabric
+//! (300 ps). The example synthesises the minimum-latency MCFIFO route for
+//! several sender frequencies (Table III style), then *simulates* each
+//! link cycle-by-cycle — relay stations, MCFIFO back-pressure, stalling
+//! receiver — and compares measured latency/throughput against the
+//! analytic claims.
+//!
+//! Run with: `cargo run --release --example gals_bridge`
+
+use clockroute::prelude::*;
+use clockroute_sim::{GalsLink, StallPattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 15 mm fabric span on a 0.5 mm grid.
+    let graph = GridGraph::open(40, 40, Length::from_um(500.0));
+    let tech = Technology::paper_070nm();
+    let lib = GateLibrary::paper_library();
+    let (s, t) = (Point::new(2, 2), Point::new(37, 32));
+
+    println!(
+        "{:>5} {:>5} | {:>5} {:>5} {:>5} {:>9} | {:>11} {:>12} {:>9}",
+        "T_s", "T_t", "Reg-s", "Reg-t", "bufs", "latency", "sim latency", "sim thrpt", "fifo max"
+    );
+    for ts in [200.0, 250.0, 300.0, 400.0] {
+        let tt = 400.0; // the hard IP's fixed period
+        let sol = GalsSpec::new(&graph, &tech, &lib)
+            .source(s)
+            .sink(t)
+            .periods(Time::from_ps(ts), Time::from_ps(tt))
+            .solve()?;
+
+        // Build the protocol model of exactly this link and run it.
+        let link = GalsLink::new(
+            sol.regs_source_side(),
+            sol.regs_sink_side(),
+            sol.t_s(),
+            sol.t_t(),
+            4,
+        );
+        let run = link.simulate(200, StallPattern::None);
+        assert_eq!(run.delivered, 200, "protocol lost tokens");
+        assert!(!run.overflowed, "relay station overflow");
+
+        println!(
+            "{:>5} {:>5} | {:>5} {:>5} {:>5} {:>6.0} ps | {:>8.0} ps {:>9.3}/ns {:>9}",
+            ts,
+            tt,
+            sol.regs_source_side(),
+            sol.regs_sink_side(),
+            sol.buffer_count(),
+            sol.latency().ps(),
+            run.first_arrival.ps(),
+            run.throughput_tokens_per_ns,
+            run.fifo_max_occupancy,
+        );
+    }
+
+    // Back-pressure study: the receiver stalls every 3rd cycle.
+    println!("\nback-pressure (receiver stalls every 3rd cycle, T_s = 200, T_t = 400):");
+    let sol = GalsSpec::new(&graph, &tech, &lib)
+        .source(s)
+        .sink(t)
+        .periods(Time::from_ps(200.0), Time::from_ps(400.0))
+        .solve()?;
+    let link = GalsLink::new(
+        sol.regs_source_side(),
+        sol.regs_sink_side(),
+        sol.t_s(),
+        sol.t_t(),
+        4,
+    );
+    let run = link.simulate(300, StallPattern::EveryKth(3));
+    println!(
+        "  delivered {} / 300, throughput {:.3} tokens/ns, {} puts rejected by full FIFO",
+        run.delivered, run.throughput_tokens_per_ns, run.fifo_rejected_puts
+    );
+    assert_eq!(run.delivered, 300);
+    println!("  → no tokens lost: the relay/MCFIFO flow control absorbs the mismatch");
+    Ok(())
+}

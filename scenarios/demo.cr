@@ -1,0 +1,14 @@
+# Demo SoC: 25 mm die, three IP macros, four global nets.
+die 25mm 25mm
+grid 100 100
+tech paper
+
+block hard       35 35 60 60    # cpu cluster
+block obstacle   70 10 90 35    # memory (route-over allowed)
+block wiring     10 65 30 90    # datapath tracks
+block regkeepout 55 70 80 92    # clock-congested region
+
+net comb name=probe  src=5,5   dst=95,95
+net reg  name=dbus   src=5,50  dst=95,50 period=343
+net reg  name=resp   src=95,45 dst=5,45  period=343
+net gals name=xdom   src=50,5  dst=50,95 ts=300 tt=400

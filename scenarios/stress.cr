@@ -1,0 +1,14 @@
+# Stress scenario: congested die, one net is intentionally unroutable at
+# its period (crplan exits non-zero and reports which).
+die 20mm 20mm
+grid 80 80
+tech paper
+
+block hard 20 20 40 60
+block hard 50 10 70 30
+block wiring 45 45 75 75
+block regkeepout 0 40 15 79
+
+net reg  name=fast_bus src=2,2   dst=77,77 period=300
+net reg  name=too_fast src=2,77  dst=77,2  period=45    # infeasible at 0.25mm pitch
+net gals name=bridge   src=40,2  dst=40,77 ts=250 tt=350

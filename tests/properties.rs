@@ -1,0 +1,338 @@
+//! Property-based tests (proptest) over randomly generated instances.
+//!
+//! Each case builds a random small grid with random node blockages
+//! (node blockages never disconnect the grid, so feasibility failures can
+//! only come from timing), then checks algebraic invariants of the
+//! solutions and agreement with the exhaustive oracles.
+
+use clockroute::core::latch::LatchSpec;
+use clockroute::core::reference;
+use clockroute::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    width: u32,
+    height: u32,
+    pitch_um: f64,
+    blocked: Vec<(u32, u32)>,
+    period_ps: f64,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (3u32..7, 3u32..6, 300.0f64..2000.0, 60.0f64..800.0).prop_flat_map(
+        |(width, height, pitch_um, period_ps)| {
+            let blocked = proptest::collection::vec(
+                ((0..width), (0..height)),
+                0..((width * height / 3) as usize),
+            );
+            blocked.prop_map(move |blocked| Instance {
+                width,
+                height,
+                pitch_um,
+                blocked,
+                period_ps,
+            })
+        },
+    )
+}
+
+impl Instance {
+    fn graph(&self) -> GridGraph {
+        let mut blk = BlockageMap::new(self.width, self.height);
+        for &(x, y) in &self.blocked {
+            let p = Point::new(x, y);
+            // Keep the terminals insertable.
+            if p != self.source() && p != self.sink() {
+                blk.block_node(p);
+            }
+        }
+        GridGraph::new(
+            blk,
+            Length::from_um(self.pitch_um),
+            Length::from_um(self.pitch_um),
+        )
+    }
+
+    fn source(&self) -> Point {
+        Point::new(0, 0)
+    }
+
+    fn sink(&self) -> Point {
+        Point::new(self.width - 1, self.height - 1)
+    }
+}
+
+fn cfg() -> ProptestConfig {
+    ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(cfg())]
+
+    #[test]
+    fn rbp_solutions_are_valid_and_optimal(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        let sol = RbpSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        let oracle = reference::min_registers_exhaustive(
+            &g, &tech, &lib, inst.source(), inst.sink(), t, 14,
+        );
+        match (sol, oracle) {
+            (Ok(sol), Ok(best)) => {
+                // Optimal register count.
+                prop_assert_eq!(sol.register_count(), best);
+                // Geometrically valid.
+                prop_assert!(sol.path().grid_path().validate(&g).is_ok());
+                // Ground-truth feasible.
+                let report = sol.path().report(&g, &tech, &lib);
+                prop_assert!(report.max_stage_delay().ps() <= inst.period_ps + 1e-9);
+                // Latency formula.
+                prop_assert_eq!(
+                    sol.latency().ps(),
+                    inst.period_ps * (sol.register_count() as f64 + 1.0)
+                );
+                // Labels on legal nodes only.
+                for (pt, _) in sol.path().gates() {
+                    if pt != inst.source() && pt != inst.sink() {
+                        prop_assert!(!g.blockage().is_node_blocked(pt));
+                    }
+                }
+            }
+            (Err(RouteError::NoFeasibleRoute), Err(RouteError::NoFeasibleRoute)) => {}
+            (s, o) => prop_assert!(false, "solver {s:?} vs oracle {o:?}"),
+        }
+    }
+
+    #[test]
+    fn fastpath_is_optimal_and_consistent(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+            .expect("node blockages never disconnect the grid");
+        let report = sol.path().report(&g, &tech, &lib);
+        prop_assert!((report.total_delay().ps() - sol.delay().ps()).abs() < 1e-6);
+        let oracle = reference::min_delay_exhaustive(
+            &g, &tech, &lib, inst.source(), inst.sink(), 14,
+        ).expect("connected");
+        prop_assert!((sol.delay().ps() - oracle.ps()).abs() < 1e-6,
+            "fastpath {} vs oracle {}", sol.delay(), oracle);
+    }
+
+    #[test]
+    fn registers_monotone_in_period(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let tight = Time::from_ps(inst.period_ps);
+        let loose = Time::from_ps(inst.period_ps * 1.7);
+        let spec = |t: Time| {
+            RbpSpec::new(&g, &tech, &lib)
+                .source(inst.source())
+                .sink(inst.sink())
+                .period(t)
+                .solve()
+        };
+        match (spec(tight), spec(loose)) {
+            (Ok(a), Ok(b)) => prop_assert!(b.register_count() <= a.register_count()),
+            (Err(_), Ok(_)) => {} // tight infeasible, loose feasible: fine
+            (Ok(_), Err(_)) => prop_assert!(false, "loosening broke feasibility"),
+            (Err(_), Err(_)) => {}
+        }
+    }
+
+    #[test]
+    fn latch_zero_borrow_equals_rbp(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        let rbp = RbpSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        let lat = LatchSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        match (rbp, lat) {
+            (Ok(r), Ok(l)) => prop_assert_eq!(r.register_count(), l.latch_count()),
+            (Err(_), Err(_)) => {}
+            (r, l) => prop_assert!(false, "rbp {r:?} vs latch {l:?}"),
+        }
+    }
+
+    #[test]
+    fn latch_borrowing_never_increases_stages(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        let without = LatchSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        let with = LatchSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .borrow_window(Time::from_ps(inst.period_ps * 0.25))
+            .solve();
+        match (without, with) {
+            (Ok(a), Ok(b)) => prop_assert!(b.latch_count() <= a.latch_count()),
+            (Err(_), Ok(_)) => {} // borrowing rescued an infeasible case
+            (Ok(_), Err(_)) => prop_assert!(false, "borrowing broke feasibility"),
+            (Err(_), Err(_)) => {}
+        }
+    }
+
+    #[test]
+    fn gals_solutions_are_valid(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let ts = Time::from_ps(inst.period_ps);
+        let tt = Time::from_ps(inst.period_ps * 1.3);
+        if let Ok(sol) = GalsSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .periods(ts, tt)
+            .solve()
+        {
+            prop_assert_eq!(sol.path().fifo_count(), 1);
+            prop_assert!(sol.path().grid_path().validate(&g).is_ok());
+            let report = sol.path().report(&g, &tech, &lib);
+            prop_assert!(report.is_feasible_gals(
+                Time::from_ps(ts.ps() + 1e-9),
+                Time::from_ps(tt.ps() + 1e-9)
+            ));
+            prop_assert_eq!(
+                sol.latency().ps(),
+                ts.ps() * (sol.regs_source_side() as f64 + 1.0)
+                    + tt.ps() * (sol.regs_sink_side() as f64 + 1.0)
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TinyInstance {
+    width: u32,
+    height: u32,
+    pitch_um: f64,
+    period_ps: f64,
+}
+
+fn tiny_instance() -> impl Strategy<Value = TinyInstance> {
+    (3u32..5, 2u32..4, 400.0f64..1500.0, 100.0f64..500.0).prop_map(
+        |(width, height, pitch_um, period_ps)| TinyInstance {
+            width,
+            height,
+            pitch_um,
+            period_ps,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gals_matches_oracle_on_tiny_grids(inst in tiny_instance()) {
+        let g = GridGraph::open(inst.width, inst.height, Length::from_um(inst.pitch_um));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let (s, t) = (
+            Point::new(0, 0),
+            Point::new(inst.width - 1, inst.height - 1),
+        );
+        let ts = Time::from_ps(inst.period_ps);
+        let tt = Time::from_ps(inst.period_ps * 1.4);
+        let sol = GalsSpec::new(&g, &tech, &lib)
+            .source(s)
+            .sink(t)
+            .periods(ts, tt)
+            .solve();
+        let oracle = reference::min_gals_latency_exhaustive(&g, &tech, &lib, s, t, ts, tt, 12);
+        match (sol, oracle) {
+            (Ok(sol), Ok(best)) => prop_assert!(
+                (sol.latency().ps() - best.ps()).abs() < 1e-6,
+                "GALS {} vs oracle {}", sol.latency(), best
+            ),
+            (Err(RouteError::NoFeasibleRoute), Err(RouteError::NoFeasibleRoute)) => {}
+            (a, b) => prop_assert!(false, "solver {a:?} vs oracle {b:?}"),
+        }
+    }
+
+    #[test]
+    fn tree_on_a_line_matches_rbp(
+        len in 6u32..20,
+        pitch in 400.0f64..1200.0,
+        period in 120.0f64..600.0,
+    ) {
+        use clockroute::tree::{RoutingTree, TreeInsertionSpec};
+        let g = GridGraph::open(len, 1, Length::from_um(pitch));
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let (s, t) = (Point::new(0, 0), Point::new(len - 1, 0));
+        let tp = Time::from_ps(period);
+        let tree = RoutingTree::rectilinear(&g, s, &[t]).expect("line tree");
+        let tree_sol = TreeInsertionSpec::new(&tree, &g, &tech, &lib)
+            .period(tp)
+            .solve();
+        let rbp = RbpSpec::new(&g, &tech, &lib)
+            .source(s)
+            .sink(t)
+            .period(tp)
+            .solve();
+        match (tree_sol, rbp) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.register_count(), b.register_count());
+                prop_assert!(a.verify_on(&tree, &g, &tech, &lib));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "tree {a:?} vs rbp {b:?}"),
+        }
+    }
+
+    #[test]
+    fn drc_accepts_every_solver_output(inst in instance()) {
+        use clockroute::core::drc;
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        if let Ok(sol) = RbpSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve()
+        {
+            let v = drc::check(sol.path(), &g, &tech, &lib, drc::ClockRule::SingleDomain(t));
+            prop_assert!(v.is_empty(), "violations: {v:?}");
+        }
+        let fast = FastPathSpec::new(&g, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+            .expect("connected");
+        let v = drc::check(fast.path(), &g, &tech, &lib, drc::ClockRule::Unconstrained);
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+    }
+}

@@ -1,40 +1,106 @@
 //! `crplan` — command-line interconnect planner.
 //!
 //! ```text
-//! usage: crplan <scenario.cr> [--render] [--quiet]
+//! usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict]
 //! ```
 //!
 //! Reads a scenario file (see [`clockroute_cli::scenario`] for the
 //! format), plans every net with the optimal fast-path / RBP / GALS
 //! searches, and prints a per-net report plus aggregate statistics.
 //! `--render` additionally draws each routed net as ASCII art.
+//!
+//! `--budget-ms <n>` caps each per-net search attempt at `n` milliseconds
+//! of wall clock; nets that blow the budget fall down the degradation
+//! ladder (coarsened grid, then an unbuffered wire) instead of hanging
+//! the run. Degraded nets are flagged in the report and counted in the
+//! summary.
+//!
+//! Exit codes: `0` all nets routed (degraded nets allowed unless
+//! `--strict`), `1` any net failed — or, under `--strict`, was degraded —
+//! `2` usage or scenario errors.
 
 use clockroute_cli::scenario;
+use clockroute_core::{failpoint, SearchBudget};
 use clockroute_elmore::GateLibrary;
 use clockroute_grid::{render_grid, GridGraph, RenderOptions};
 use clockroute_plan::Planner;
 use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict]";
+
+struct Options {
+    path: String,
+    render: bool,
+    quiet: bool,
+    strict: bool,
+    budget: SearchBudget,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut render = false;
+    let mut quiet = false;
+    let mut strict = false;
+    let mut budget = SearchBudget::unlimited();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--render" => render = true,
+            "--quiet" => quiet = true,
+            "--strict" => strict = true,
+            "--budget-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--budget-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget-ms needs an integer millisecond count")?;
+                budget = budget.with_deadline(Duration::from_millis(ms));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err("more than one scenario file given".to_owned());
+                }
+            }
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("missing scenario file")?,
+        render,
+        quiet,
+        strict,
+        budget,
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let render = args.iter().any(|a| a == "--render");
-    let quiet = args.iter().any(|a| a == "--quiet");
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: crplan <scenario.cr> [--render] [--quiet]");
-        return ExitCode::from(2);
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
+    if let Err(e) = failpoint::arm_from_env() {
+        eprintln!("error: bad CLOCKROUTE_FAILPOINTS: {e}");
+        return ExitCode::from(2);
+    }
 
-    let text = match std::fs::read_to_string(path) {
+    let text = match std::fs::read_to_string(&opts.path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
+            eprintln!("error: cannot read {}: {e}", opts.path);
             return ExitCode::from(2);
         }
     };
     let scenario = match scenario::parse(&text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {path}: {e}");
+            eprintln!("error: {}: {e}", opts.path);
             return ExitCode::from(2);
         }
     };
@@ -42,7 +108,7 @@ fn main() -> ExitCode {
     let (gw, gh) = scenario.grid;
     let graph = GridGraph::from_floorplan(&scenario.floorplan, gw, gh);
     let lib = GateLibrary::paper_library();
-    if !quiet {
+    if !opts.quiet {
         let (px, py) = scenario.floorplan.pitch(gw, gh);
         println!(
             "# die {:.1}×{:.1} mm, grid {gw}×{gh} (pitch {:.3}×{:.3} mm), {} blocks, {} nets",
@@ -56,12 +122,13 @@ fn main() -> ExitCode {
     }
 
     let planner = Planner::new(graph.clone(), scenario.tech, lib.clone())
-        .reserve_routes(scenario.reserve);
+        .reserve_routes(scenario.reserve)
+        .budget(opts.budget);
     let plan = planner.plan(&scenario.nets);
 
     for result in plan.results() {
         println!("{result}");
-        if render {
+        if opts.render {
             if let Some(path) = &result.path {
                 let mut labels = vec![(path.source(), 'S'), (path.sink(), 'T')];
                 for (pt, gate) in path.gates() {
@@ -88,17 +155,19 @@ fn main() -> ExitCode {
     }
 
     let failed = plan.failed().count();
-    if !quiet {
+    let degraded = plan.degraded().count();
+    if !opts.quiet {
         println!(
-            "# routed {}/{} nets, {:.1} mm total wire, {} synchronizers, max depth {} cycles",
+            "# routed {}/{} nets ({} degraded), {:.1} mm total wire, {} synchronizers, max depth {} cycles",
             plan.routed().count(),
             plan.results().len(),
+            degraded,
             plan.total_wirelength().mm(),
             plan.total_synchronizers(),
             plan.max_cycles().unwrap_or(0)
         );
     }
-    if failed > 0 {
+    if failed > 0 || (opts.strict && degraded > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

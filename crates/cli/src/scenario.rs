@@ -112,8 +112,8 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut die: Option<(Length, Length)> = None;
     let mut grid: Option<(u32, u32)> = None;
     let mut tech = Technology::paper_070nm();
-    let mut blocks: Vec<(Rect, BlockKind)> = Vec::new();
-    let mut nets: Vec<NetSpec> = Vec::new();
+    let mut blocks: Vec<(Rect, BlockKind, usize)> = Vec::new();
+    let mut nets: Vec<(NetSpec, usize)> = Vec::new();
     let mut reserve = true;
 
     for (i, raw) in text.lines().enumerate() {
@@ -128,10 +128,12 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                 if tokens.len() != 3 {
                     return Err(err(line_no, "usage: die <width> <height>"));
                 }
-                die = Some((
-                    parse_length(tokens[1], line_no)?,
-                    parse_length(tokens[2], line_no)?,
-                ));
+                let w = parse_length(tokens[1], line_no)?;
+                let h = parse_length(tokens[2], line_no)?;
+                if w.mm() <= 0.0 || h.mm() <= 0.0 {
+                    return Err(err(line_no, "die must have positive area"));
+                }
+                die = Some((w, h));
             }
             "grid" => {
                 if tokens.len() != 3 {
@@ -143,6 +145,9 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                 let h = tokens[2]
                     .parse()
                     .map_err(|_| err(line_no, "bad grid height"))?;
+                if w == 0 || h == 0 {
+                    return Err(err(line_no, "grid dimensions must be non-zero"));
+                }
                 grid = Some((w, h));
             }
             "tech" => {
@@ -185,6 +190,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                         Point::new(coords[2], coords[3]),
                     ),
                     kind,
+                    line_no,
                 ));
             }
             "net" => {
@@ -192,6 +198,12 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                     return Err(err(line_no, "usage: net <comb|reg|gals> ..."));
                 }
                 let name = kv(&tokens, "name", line_no)?.to_owned();
+                if let Some((_, first)) = nets.iter().find(|(n, _)| n.name == name) {
+                    return Err(err(
+                        line_no,
+                        format!("duplicate net name `{name}` (first declared on line {first})"),
+                    ));
+                }
                 let src = parse_point(kv(&tokens, "src", line_no)?, line_no)?;
                 let dst = parse_point(kv(&tokens, "dst", line_no)?, line_no)?;
                 let net = match tokens[1] {
@@ -213,7 +225,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                     }
                     other => return Err(err(line_no, format!("unknown net kind `{other}`"))),
                 };
-                nets.push(net);
+                nets.push((net, line_no));
             }
             "reserve" => {
                 reserve = match tokens.get(1).copied() {
@@ -228,23 +240,23 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
 
     let (dw, dh) = die.ok_or_else(|| err(0, "missing `die` directive"))?;
     let (gw, gh) = grid.ok_or_else(|| err(0, "missing `grid` directive"))?;
-    if gw == 0 || gh == 0 {
-        return Err(err(0, "grid dimensions must be non-zero"));
-    }
     if nets.is_empty() {
         return Err(err(0, "scenario declares no nets"));
     }
     let mut floorplan = Floorplan::new(dw, dh);
-    for (rect, kind) in blocks {
+    for (rect, kind, line) in blocks {
         if rect.hi().x >= gw || rect.hi().y >= gh {
-            return Err(err(0, format!("block {rect} exceeds the {gw}×{gh} grid")));
+            return Err(err(line, format!("block {rect} exceeds the {gw}×{gh} grid")));
         }
         floorplan.add_block(rect, kind);
     }
-    for net in &nets {
+    for (net, line) in &nets {
         for (what, p) in [("src", net.source), ("dst", net.sink)] {
             if p.x >= gw || p.y >= gh {
-                return Err(err(0, format!("net `{}` {what} {p} is off-grid", net.name)));
+                return Err(err(
+                    *line,
+                    format!("net `{}` {what} {p} is off-grid", net.name),
+                ));
             }
         }
     }
@@ -252,7 +264,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
         floorplan,
         grid: (gw, gh),
         tech,
-        nets,
+        nets: nets.into_iter().map(|(n, _)| n).collect(),
         reserve,
     })
 }
@@ -358,6 +370,40 @@ net gals name=c src=50,5 dst=50,95 ts=300 tt=400
             .unwrap_err()
             .message
             .contains("positive"));
+    }
+
+    #[test]
+    fn rejects_duplicate_net_names() {
+        let text = "die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\nnet comb name=x src=1,0 dst=3,2\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate net name `x`"), "{e}");
+        assert!(e.message.contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn rejects_zero_grid_at_its_line() {
+        let e = parse("die 1mm 1mm\ngrid 0 0\nnet comb name=x src=0,0 dst=0,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("non-zero"), "{e}");
+        let e = parse("die 1mm 1mm\ngrid 4 0\nnet comb name=x src=0,0 dst=3,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_zero_area_die_at_its_line() {
+        let e = parse("grid 4 4\ndie 0mm 10mm\nnet comb name=x src=0,0 dst=3,3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("positive area"), "{e}");
+    }
+
+    #[test]
+    fn late_validations_carry_line_numbers() {
+        let e = parse("die 1mm 1mm\ngrid 4 4\nblock hard 0 0 9 9\nnet comb name=x src=0,0 dst=3,3\n")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse("die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=9,9\n").unwrap_err();
+        assert_eq!(e.line, 3);
     }
 
     #[test]

@@ -71,6 +71,159 @@ fn reservation_respected_between_scenario_nets() {
     }
 }
 
+mod binary {
+    //! Tests that drive the compiled `crplan` binary end to end,
+    //! including the resilience flags and the fault-injection env hook.
+
+    use std::io::Write;
+    use std::process::Command;
+    use std::time::Instant;
+
+    fn crplan() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_crplan"))
+    }
+
+    /// Writes `text` to a unique temp file and returns its path.
+    fn scenario_file(tag: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "crplan-e2e-{tag}-{}.cr",
+            std::process::id()
+        ));
+        let mut f = std::fs::File::create(&path).expect("create scenario");
+        f.write_all(text.as_bytes()).expect("write scenario");
+        path
+    }
+
+    const SMALL: &str = "\
+die 8mm 8mm
+grid 16 16
+net comb name=a src=0,0 dst=15,15
+net reg  name=b src=0,4 dst=15,4 period=400
+";
+
+    #[test]
+    fn clean_run_exits_zero_and_reports_every_net() {
+        let path = scenario_file("clean", SMALL);
+        let out = crplan().arg(&path).output().expect("run crplan");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{stdout}");
+        assert!(stdout.contains("a:"), "{stdout}");
+        assert!(stdout.contains("b:"), "{stdout}");
+        assert!(stdout.contains("(0 degraded)"), "{stdout}");
+    }
+
+    #[test]
+    fn parse_error_exits_two_with_line_number() {
+        let path = scenario_file("badparse", "die 8mm 8mm\ngrid 0 0\nnet comb name=a src=0,0 dst=1,1\n");
+        let out = crplan().arg(&path).output().expect("run crplan");
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("line 2"), "{stderr}");
+    }
+
+    #[test]
+    fn unknown_flag_exits_two_with_usage() {
+        let out = crplan().arg("--bogus").output().expect("run crplan");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+
+    #[test]
+    fn bad_failpoint_spec_exits_two() {
+        let path = scenario_file("badfp", SMALL);
+        let out = crplan()
+            .arg(&path)
+            .env("CLOCKROUTE_FAILPOINTS", "fastpath::pop=explode@1")
+            .output()
+            .expect("run crplan");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("CLOCKROUTE_FAILPOINTS"));
+    }
+
+    #[test]
+    fn forced_noroute_degrades_and_strict_flips_exit_code() {
+        let path = scenario_file("strict", SMALL);
+        // One-shot: only net `a`'s optimal attempt fails; the coarse
+        // retry lands, so the run is degraded-but-successful.
+        let out = crplan()
+            .arg(&path)
+            .env("CLOCKROUTE_FAILPOINTS", "fastpath::pop=noroute@1")
+            .output()
+            .expect("run crplan");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{stdout}");
+        assert!(stdout.contains("degraded"), "{stdout}");
+
+        let out = crplan()
+            .arg(&path)
+            .arg("--strict")
+            .env("CLOCKROUTE_FAILPOINTS", "fastpath::pop=noroute@1")
+            .output()
+            .expect("run crplan");
+        assert_eq!(out.status.code(), Some(1), "strict must fail degraded runs");
+    }
+
+    #[test]
+    fn forced_panic_is_contained_by_the_planner() {
+        let path = scenario_file("panic", SMALL);
+        let out = crplan()
+            .arg(&path)
+            .env("CLOCKROUTE_FAILPOINTS", "fastpath::pop=panic@1")
+            .output()
+            .expect("run crplan");
+        // The process must terminate normally (no abort), with net `a`
+        // rescued by a lower rung and net `b` untouched.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.code().is_some(), "process was killed by signal");
+        assert!(out.status.success(), "{stdout}");
+        assert!(stdout.contains("a:"), "{stdout}");
+        assert!(stdout.contains("b:"), "{stdout}");
+    }
+
+    #[test]
+    fn hostile_scenario_with_budget_terminates_promptly() {
+        // Dense blockage maze on a large grid with unmeetable periods:
+        // unbudgeted, the RBP searches chew through an enormous candidate
+        // space. The 50ms budget must bound every rung, and every net
+        // must still be accounted for in the report.
+        let mut text = String::from("die 40mm 40mm\ngrid 120 120\n");
+        for i in 0..28 {
+            let x = 4 * i + 2;
+            // Alternating comb walls with one-cell gaps at alternating ends.
+            if i % 2 == 0 {
+                text.push_str(&format!("block obstacle {x} 0 {x} 117\n"));
+            } else {
+                text.push_str(&format!("block obstacle {x} 2 {x} 119\n"));
+            }
+        }
+        for n in 0..6 {
+            let y = 10 + n * 18;
+            text.push_str(&format!(
+                "net reg name=n{n} src=0,{y} dst=119,{} period=120\n",
+                y + 3
+            ));
+        }
+        let path = scenario_file("hostile", &text);
+        let start = Instant::now();
+        let out = crplan()
+            .arg(&path)
+            .arg("--budget-ms")
+            .arg("50")
+            .output()
+            .expect("run crplan");
+        let elapsed = start.elapsed();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for n in 0..6 {
+            assert!(stdout.contains(&format!("n{n}:")), "missing n{n}: {stdout}");
+        }
+        // Generous bound for slow CI: 6 nets × 3 rungs × 50ms ≪ 5s.
+        assert!(
+            elapsed.as_secs() < 5,
+            "took {elapsed:?}, budget not enforced"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 

@@ -34,8 +34,8 @@ impl Arena {
         Arena::default()
     }
 
-    /// Number of steps allocated (for memory accounting in tests).
-    #[cfg(test)]
+    /// Number of steps allocated — the budget meter's arena-memory
+    /// measure (each step is one fixed-size record).
     pub fn len(&self) -> usize {
         self.steps.len()
     }

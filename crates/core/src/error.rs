@@ -1,9 +1,11 @@
 //! Error types for the routing searches.
 
+use crate::budget::SearchStage;
 use clockroute_geom::Point;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors returned by the `solve` methods of the routing specs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +26,19 @@ pub enum RouteError {
     UnspecifiedSource,
     /// No sink point was supplied to the spec builder.
     UnspecifiedSink,
+    /// The search exhausted its [`SearchBudget`](crate::SearchBudget)
+    /// before finding a route or proving infeasibility.
+    BudgetExceeded {
+        /// Candidates popped before the budget tripped.
+        candidates: u64,
+        /// Wall-clock time spent in the search.
+        elapsed: Duration,
+        /// Which search was running.
+        stage: SearchStage,
+    },
+    /// A search panicked and the caller isolated it (see the planner's
+    /// per-net `catch_unwind`); the payload is the panic message.
+    SearchPanicked(String),
 }
 
 impl fmt::Display for RouteError {
@@ -40,6 +55,15 @@ impl fmt::Display for RouteError {
             RouteError::InvalidPeriod => f.write_str("clock period must be positive"),
             RouteError::UnspecifiedSource => f.write_str("no source point was specified"),
             RouteError::UnspecifiedSink => f.write_str("no sink point was specified"),
+            RouteError::BudgetExceeded {
+                candidates,
+                elapsed,
+                stage,
+            } => write!(
+                f,
+                "{stage} search budget exceeded after {candidates} candidates ({elapsed:?})"
+            ),
+            RouteError::SearchPanicked(msg) => write!(f, "search panicked: {msg}"),
         }
     }
 }
@@ -67,6 +91,19 @@ mod tests {
         assert_eq!(
             RouteError::SameSourceSink(Point::new(1, 2)).to_string(),
             "source and sink coincide at (1, 2)"
+        );
+        let budget = RouteError::BudgetExceeded {
+            candidates: 42,
+            elapsed: Duration::from_millis(7),
+            stage: SearchStage::Rbp,
+        };
+        assert_eq!(
+            budget.to_string(),
+            "RBP search budget exceeded after 42 candidates (7ms)"
+        );
+        assert_eq!(
+            RouteError::SearchPanicked("boom".into()).to_string(),
+            "search panicked: boom"
         );
     }
 }

@@ -9,9 +9,11 @@
 //! driving gate's delay added) is popped off the queue, it is the global
 //! minimum-delay buffered path.
 
+use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
-use crate::{FastPathSolution, RouteError, RoutedPath, SearchStats};
+use crate::failpoint::{self, FailAction};
+use crate::{FastPathSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
 use clockroute_geom::Point;
@@ -46,6 +48,7 @@ pub struct FastPathSpec<'a> {
     sink: Option<Point>,
     source_gate: GateId,
     sink_gate: GateId,
+    budget: SearchBudget,
 }
 
 impl<'a> FastPathSpec<'a> {
@@ -60,6 +63,7 @@ impl<'a> FastPathSpec<'a> {
             sink: None,
             source_gate: lib.register(),
             sink_gate: lib.register(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -87,12 +91,18 @@ impl<'a> FastPathSpec<'a> {
         self
     }
 
+    /// Sets the resource budget for the search (default: unlimited).
+    pub fn budget(mut self, b: SearchBudget) -> Self {
+        self.budget = b;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
     ///
-    /// Returns [`RouteError`] if the spec is invalid or the terminals are
-    /// disconnected by wiring blockages.
+    /// Returns [`RouteError`] if the spec is invalid, the terminals are
+    /// disconnected by wiring blockages, or the budget is exhausted.
     pub fn solve(&self) -> Result<FastPathSolution, RouteError> {
         let ctx = Ctx::new(
             self.graph,
@@ -103,12 +113,13 @@ impl<'a> FastPathSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx)
+        solve(&ctx, self.budget)
     }
 }
 
-fn solve(ctx: &Ctx<'_>) -> Result<FastPathSolution, RouteError> {
+fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteError> {
     let graph = ctx.graph;
+    let mut meter = BudgetMeter::new(budget, SearchStage::FastPath);
     let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     let mut queue = DelayQueue::new();
@@ -129,6 +140,13 @@ fn solve(ctx: &Ctx<'_>) -> Result<FastPathSolution, RouteError> {
     stats.record_push(queue.len());
 
     while let Some(cand) = queue.pop() {
+        match failpoint::hit("fastpath::pop") {
+            Some(FailAction::Panic) => panic!("failpoint fastpath::pop: forced panic"),
+            Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+            Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+            None => {}
+        }
+        meter.charge_pop(arena.len())?;
         stats.configs += 1;
         if cand.finalized {
             // First completed candidate off the queue is globally optimal.
@@ -374,6 +392,93 @@ mod tests {
         let b = run();
         assert_eq!(a.path(), b.path());
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn candidate_budget_stops_search_with_diagnostics() {
+        let (g, tech, lib) = setup(20, 250.0);
+        let err = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(19, 19))
+            .budget(crate::SearchBudget::unlimited().with_max_candidates(10))
+            .solve()
+            .unwrap_err();
+        match err {
+            RouteError::BudgetExceeded {
+                candidates,
+                stage,
+                elapsed,
+            } => {
+                assert_eq!(candidates, 11);
+                assert_eq!(stage, crate::SearchStage::FastPath);
+                assert!(elapsed < std::time::Duration::from_secs(10));
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arena_budget_stops_search() {
+        let (g, tech, lib) = setup(20, 250.0);
+        let err = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(19, 19))
+            .budget(crate::SearchBudget::unlimited().with_max_arena_steps(50))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, RouteError::BudgetExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_result() {
+        let (g, tech, lib) = setup(12, 250.0);
+        let free = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(11, 11))
+            .solve()
+            .unwrap();
+        let budgeted = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(11, 11))
+            .budget(
+                crate::SearchBudget::unlimited()
+                    .with_max_candidates(u64::MAX)
+                    .with_max_arena_steps(usize::MAX)
+                    .with_deadline(std::time::Duration::from_secs(3600)),
+            )
+            .solve()
+            .unwrap();
+        assert_eq!(free.path(), budgeted.path());
+        assert_eq!(free.stats(), budgeted.stats());
+    }
+
+    #[test]
+    fn failpoint_forces_each_failure_mode() {
+        use crate::failpoint::{self, FailAction};
+        let (g, tech, lib) = setup(8, 250.0);
+        let run = || {
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(p(0, 0))
+                .sink(p(7, 7))
+                .solve()
+        };
+
+        failpoint::disarm_all();
+        failpoint::arm("fastpath::pop", FailAction::NoRoute, 2);
+        assert_eq!(run().unwrap_err(), RouteError::NoFeasibleRoute);
+        // One-shot: the next run is unaffected.
+        assert!(run().is_ok());
+
+        failpoint::arm("fastpath::pop", FailAction::BudgetExhausted, 1);
+        assert!(matches!(
+            run().unwrap_err(),
+            RouteError::BudgetExceeded { .. }
+        ));
+
+        failpoint::arm("fastpath::pop", FailAction::Panic, 1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+        assert!(panicked.is_err());
+        failpoint::disarm_all();
     }
 
     #[test]

@@ -23,9 +23,11 @@
 //! Because waves are processed in increasing `l` and every source arrival
 //! adds the same `T_s`, the first feasible arrival is globally optimal.
 
+use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
-use crate::{GalsSolution, RouteError, RoutedPath, SearchStats};
+use crate::failpoint::{self, FailAction};
+use crate::{GalsSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateKind, GateLibrary, Technology};
 use clockroute_geom::units::Time;
 use clockroute_geom::Point;
@@ -63,6 +65,7 @@ pub struct GalsSpec<'a> {
     sink_gate: GateId,
     t_s: Option<Time>,
     t_t: Option<Time>,
+    budget: SearchBudget,
 }
 
 impl<'a> GalsSpec<'a> {
@@ -78,6 +81,7 @@ impl<'a> GalsSpec<'a> {
             sink_gate: lib.register(),
             t_s: None,
             t_t: None,
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -97,6 +101,12 @@ impl<'a> GalsSpec<'a> {
     pub fn periods(mut self, t_s: Time, t_t: Time) -> Self {
         self.t_s = Some(t_s);
         self.t_t = Some(t_t);
+        self
+    }
+
+    /// Sets the resource budget for the search (default: unlimited).
+    pub fn budget(mut self, b: SearchBudget) -> Self {
+        self.budget = b;
         self
     }
 
@@ -123,7 +133,7 @@ impl<'a> GalsSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx, t_s.ps(), t_t.ps())
+        solve(&ctx, t_s.ps(), t_t.ps(), self.budget)
     }
 }
 
@@ -137,9 +147,15 @@ fn t_of(z: bool, t_s: f64, t_t: f64) -> f64 {
     }
 }
 
-fn solve(ctx: &Ctx<'_>, t_s: f64, t_t: f64) -> Result<GalsSolution, RouteError> {
+fn solve(
+    ctx: &Ctx<'_>,
+    t_s: f64,
+    t_t: f64,
+    budget: SearchBudget,
+) -> Result<GalsSolution, RouteError> {
     let graph = ctx.graph;
     let n = graph.node_count();
+    let mut meter = BudgetMeter::new(budget, SearchStage::Gals);
     let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     // Separate Pareto fronts per z: key = node·2 + z.
@@ -168,6 +184,13 @@ fn solve(ctx: &Ctx<'_>, t_s: f64, t_t: f64) -> Result<GalsSolution, RouteError> 
 
     loop {
         while let Some(cand) = queue.pop() {
+            match failpoint::hit("gals::pop") {
+                Some(FailAction::Panic) => panic!("failpoint gals::pop: forced panic"),
+                Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+                Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                None => {}
+            }
+            meter.charge_pop(arena.len())?;
             stats.configs += 1;
             let z = cand.fifo_inserted;
             let key = cand.node.index() * 2 + usize::from(z);
@@ -504,6 +527,28 @@ mod tests {
         assert_eq!(
             solve(&g, &tech, &lib, p(0, 0), p(9, 9), 50.0, 50.0).unwrap_err(),
             RouteError::NoFeasibleRoute
+        );
+    }
+
+    #[test]
+    fn budget_trips_with_gals_stage() {
+        let (g, tech, lib) = setup(20, 500.0);
+        let err = GalsSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(19, 19))
+            .periods(Time::from_ps(200.0), Time::from_ps(250.0))
+            .budget(crate::SearchBudget::unlimited().with_max_candidates(15))
+            .solve()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RouteError::BudgetExceeded {
+                    stage: crate::SearchStage::Gals,
+                    ..
+                }
+            ),
+            "{err:?}"
         );
     }
 

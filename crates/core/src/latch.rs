@@ -29,9 +29,11 @@
 //! are too unevenly spaced for edge-triggered registers, sometimes saving
 //! entire pipeline stages.
 
+use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
-use crate::{RouteError, RoutedPath, SearchStats};
+use crate::failpoint::{self, FailAction};
+use crate::{RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
 use clockroute_geom::Point;
@@ -71,6 +73,7 @@ pub struct LatchSpec<'a> {
     sink_gate: GateId,
     period: Option<Time>,
     borrow: Time,
+    budget: SearchBudget,
 }
 
 impl<'a> LatchSpec<'a> {
@@ -87,6 +90,7 @@ impl<'a> LatchSpec<'a> {
             sink_gate: lib.register(),
             period: None,
             borrow: Time::ZERO,
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -114,6 +118,12 @@ impl<'a> LatchSpec<'a> {
         self
     }
 
+    /// Sets the resource budget for the search (default: unlimited).
+    pub fn budget(mut self, b: SearchBudget) -> Self {
+        self.budget = b;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -134,7 +144,7 @@ impl<'a> LatchSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx, t_phi, self.borrow)
+        solve(&ctx, t_phi, self.borrow, self.budget)
     }
 }
 
@@ -207,11 +217,17 @@ pub fn validate_borrowing(stages: &[Time], t: Time, b: Time) -> bool {
     true
 }
 
-fn solve(ctx: &Ctx<'_>, t_phi: Time, borrow: Time) -> Result<LatchSolution, RouteError> {
+fn solve(
+    ctx: &Ctx<'_>,
+    t_phi: Time,
+    borrow: Time,
+    search_budget: SearchBudget,
+) -> Result<LatchSolution, RouteError> {
     let graph = ctx.graph;
     let t = t_phi.ps();
     let b = borrow.ps();
     let n = graph.node_count();
+    let mut meter = BudgetMeter::new(search_budget, SearchStage::Latch);
     let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     let mut prune = PruneTable::new(n);
@@ -246,6 +262,13 @@ fn solve(ctx: &Ctx<'_>, t_phi: Time, borrow: Time) -> Result<LatchSolution, Rout
 
     loop {
         while let Some(cand) = queue.pop() {
+            match failpoint::hit("latch::pop") {
+                Some(FailAction::Panic) => panic!("failpoint latch::pop: forced panic"),
+                Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+                Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                None => {}
+            }
+            meter.charge_pop(arena.len())?;
             stats.configs += 1;
             let extra = cand.borrowed + b; // shifted to ≥ 0
             if prune.is_stale(cand.node.index(), cand.cap, cand.delay, extra, !cand.gate_here) {

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Optimal simultaneous routing and synchronizer insertion — the core
 //! algorithms of Hassoun & Alpert, *“Optimal Path Routing in Single- and
 //! Multiple-Clock Domain Systems”* (IEEE TCAD, 2003).
@@ -14,6 +15,11 @@
 //! Plus two documented extensions: transparent-latch routing with time
 //! borrowing ([`latch`]) and exhaustive reference oracles used to verify
 //! optimality on small instances (the `reference` module).
+//!
+//! Every search accepts an optional [`SearchBudget`] (wall-clock,
+//! candidate-count and arena-memory caps) and fails fast with
+//! [`RouteError::BudgetExceeded`] when it trips; the [`failpoint`]
+//! module provides deterministic fault injection for resilience tests.
 //!
 //! # Example
 //!
@@ -43,10 +49,12 @@
 //! # Ok::<(), clockroute_core::RouteError>(())
 //! ```
 
+mod budget;
 mod ctx;
 pub mod drc;
 mod engine;
 mod error;
+pub mod failpoint;
 mod fastpath;
 mod gals;
 pub mod latch;
@@ -55,6 +63,7 @@ pub mod reference;
 mod result;
 mod stats;
 
+pub use budget::{SearchBudget, SearchStage};
 pub use error::RouteError;
 pub use fastpath::FastPathSpec;
 pub use gals::GalsSpec;

@@ -27,9 +27,11 @@
 //! * the admissible wire bound of step 5 can be disabled
 //!   ([`RbpSpec::wire_bound`]) to measure how much work it saves.
 
+use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
-use crate::{RbpSolution, RouteError, RoutedPath, SearchStats};
+use crate::failpoint::{self, FailAction};
+use crate::{RbpSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
 use clockroute_geom::Point;
@@ -100,6 +102,7 @@ pub struct RbpSpec<'a> {
     variant: RbpVariant,
     tie_break: TieBreak,
     wire_bound: bool,
+    budget: SearchBudget,
 }
 
 impl<'a> RbpSpec<'a> {
@@ -118,6 +121,7 @@ impl<'a> RbpSpec<'a> {
             variant: RbpVariant::default(),
             tie_break: TieBreak::default(),
             wire_bound: true,
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -161,6 +165,12 @@ impl<'a> RbpSpec<'a> {
         self
     }
 
+    /// Sets the resource budget for the search (default: unlimited).
+    pub fn budget(mut self, b: SearchBudget) -> Self {
+        self.budget = b;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -199,6 +209,7 @@ impl<'a> RbpSpec<'a> {
 
         let graph = ctx.graph;
         let n = graph.node_count();
+        let mut meter = BudgetMeter::new(self.budget, SearchStage::Rbp);
         let mut stats = SearchStats::new();
         let mut arena = Arena::new();
         let mut prune = PruneTable::new(n);
@@ -225,6 +236,13 @@ impl<'a> RbpSpec<'a> {
 
         loop {
             while let Some(cand) = queue.pop() {
+                match failpoint::hit("rbp::pop") {
+                    Some(FailAction::Panic) => panic!("failpoint rbp::pop: forced panic"),
+                    Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+                    Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                    None => {}
+                }
+                meter.charge_pop(arena.len())?;
                 stats.configs += 1;
                 let extra = prune_extra(slack_mode, cand.sink_stage);
                 if prune.is_stale(cand.node.index(), cand.cap, cand.delay, extra, !cand.gate_here)
@@ -716,6 +734,29 @@ mod tests {
                 avg[w] > avg[w - 1],
                 "ring {w} did not expand: {avg:?}"
             );
+        }
+    }
+
+    #[test]
+    fn budget_trips_across_waves() {
+        // A tight period forces many waves; the candidate cap must stop
+        // the whole run, not just the first wave.
+        let (g, tech, lib) = setup(20, 500.0);
+        let err = RbpSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(19, 19))
+            .period(Time::from_ps(150.0))
+            .budget(crate::SearchBudget::unlimited().with_max_candidates(25))
+            .solve()
+            .unwrap_err();
+        match err {
+            RouteError::BudgetExceeded {
+                candidates, stage, ..
+            } => {
+                assert_eq!(candidates, 26);
+                assert_eq!(stage, crate::SearchStage::Rbp);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
         }
     }
 

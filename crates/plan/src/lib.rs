@@ -23,6 +23,27 @@
 //! in the order given (callers typically sort by criticality) and reports
 //! failures without aborting the batch.
 //!
+//! # Resilience
+//!
+//! A hostile net must never take the whole plan down. Each net is routed
+//! under an optional [`SearchBudget`] and inside a panic boundary, and on
+//! a resource failure the planner walks a **degradation ladder**:
+//!
+//! 1. the optimal search on the full-resolution grid;
+//! 2. the same search on a **2×-coarsened grid** (4× fewer nodes, so
+//!    roughly an order of magnitude less work), with the coarse route
+//!    expanded back onto the fine grid;
+//! 3. a plain **unbuffered shortest path** — always cheap, no timing
+//!    guarantee.
+//!
+//! Which rung produced each result is recorded as a [`Degradation`], so
+//! callers can distinguish exact optima from estimates. Rungs 2–3 trade
+//! optimality for availability: a coarse route is a valid fine-grid route
+//! but may be longer than optimal, and its terminal stages may exceed the
+//! period by the delay of the short connector stubs that attach off-lattice
+//! terminals; an unbuffered route ignores timing entirely. Latencies on
+//! degraded nets are therefore estimates, not guarantees.
+//!
 //! # Example
 //!
 //! ```
@@ -42,13 +63,17 @@
 //! assert_eq!(plan.routed().count(), 2);
 //! ```
 
-use clockroute_core::{FastPathSpec, GalsSpec, RbpSpec, RouteError, RoutedPath};
-use clockroute_elmore::{GateLibrary, Technology};
+use clockroute_core::{
+    failpoint::{self, FailAction},
+    FastPathSpec, GalsSpec, RbpSpec, RouteError, RoutedPath, SearchBudget, SearchStage,
+};
+use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::{Length, Time};
-use clockroute_geom::Point;
-use clockroute_grid::GridGraph;
+use clockroute_geom::{BlockageMap, Point};
+use clockroute_grid::{shortest_path, GridGraph};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Clocking requirement of a net.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +139,31 @@ impl NetSpec {
     }
 }
 
+/// How far down the degradation ladder a net's route came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The optimal search succeeded on the full-resolution grid.
+    #[default]
+    None,
+    /// The optimal search failed; the route comes from a 2×-coarsened
+    /// grid, expanded back to fine coordinates. Optimal on the coarse
+    /// lattice only; latency is an estimate.
+    CoarseGrid,
+    /// Both optimal attempts failed; the route is a plain unbuffered
+    /// shortest path with no timing guarantee.
+    Unbuffered,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Degradation::None => "none",
+            Degradation::CoarseGrid => "coarse grid",
+            Degradation::Unbuffered => "unbuffered fallback",
+        })
+    }
+}
+
 /// Result of planning one net.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetResult {
@@ -130,28 +180,42 @@ pub struct NetResult {
     pub wirelength: Option<Length>,
     /// Failure reason, if the net could not be routed.
     pub error: Option<RouteError>,
+    /// Which ladder rung produced the route ([`Degradation::None`] for an
+    /// exact optimum; meaningless when the net failed entirely).
+    pub degradation: Degradation,
 }
 
 impl NetResult {
-    /// `true` if the net was routed.
+    /// `true` if the net was routed (possibly degraded).
     pub fn is_routed(&self) -> bool {
         self.path.is_some()
+    }
+
+    /// `true` if the net was routed by a fallback rung.
+    pub fn is_degraded(&self) -> bool {
+        self.is_routed() && self.degradation != Degradation::None
     }
 }
 
 impl fmt::Display for NetResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (&self.path, &self.error) {
-            (Some(path), _) => write!(
-                f,
-                "{}: {} cycles, latency {:.0}, {} registers, {} buffers, {:.1} mm",
-                self.name,
-                self.cycles.unwrap_or(0),
-                self.latency.unwrap_or(Time::ZERO),
-                path.register_count() + path.fifo_count(),
-                path.buffer_count(),
-                self.wirelength.unwrap_or(Length::ZERO).mm(),
-            ),
+            (Some(path), _) => {
+                write!(
+                    f,
+                    "{}: {} cycles, latency {:.0}, {} registers, {} buffers, {:.1} mm",
+                    self.name,
+                    self.cycles.unwrap_or(0),
+                    self.latency.unwrap_or(Time::ZERO),
+                    path.register_count() + path.fifo_count(),
+                    path.buffer_count(),
+                    self.wirelength.unwrap_or(Length::ZERO).mm(),
+                )?;
+                if self.degradation != Degradation::None {
+                    write!(f, " [degraded: {}]", self.degradation)?;
+                }
+                Ok(())
+            }
             (None, Some(e)) => write!(f, "{}: FAILED ({e})", self.name),
             (None, None) => write!(f, "{}: not planned", self.name),
         }
@@ -180,6 +244,11 @@ impl Plan {
         self.results.iter().filter(|r| !r.is_routed())
     }
 
+    /// Iterates over nets that were routed by a fallback ladder rung.
+    pub fn degraded(&self) -> impl Iterator<Item = &NetResult> {
+        self.results.iter().filter(|r| r.is_degraded())
+    }
+
     /// Total wirelength over all routed nets.
     pub fn total_wirelength(&self) -> Length {
         self.routed().filter_map(|r| r.wirelength).sum()
@@ -206,7 +275,12 @@ pub struct Planner {
     tech: Technology,
     lib: GateLibrary,
     reserve_routes: bool,
+    budget: SearchBudget,
+    degrade: bool,
 }
+
+/// A successful routing attempt, before result bookkeeping.
+type Routed = (RoutedPath, Time, usize);
 
 impl Planner {
     /// Creates a planner over (a private copy of) the grid.
@@ -216,6 +290,8 @@ impl Planner {
             tech,
             lib,
             reserve_routes: true,
+            budget: SearchBudget::unlimited(),
+            degrade: true,
         }
     }
 
@@ -226,18 +302,35 @@ impl Planner {
         self
     }
 
+    /// Sets the per-attempt search budget. Each ladder rung gets a fresh
+    /// budget of this size, so a net costs at most two budgeted searches
+    /// plus one (cheap, unbudgeted) shortest-path fallback.
+    pub fn budget(mut self, b: SearchBudget) -> Planner {
+        self.budget = b;
+        self
+    }
+
+    /// Enables/disables the degradation ladder (default: enabled). With
+    /// it disabled, a failed optimal search fails the net outright.
+    pub fn degrade(mut self, enabled: bool) -> Planner {
+        self.degrade = enabled;
+        self
+    }
+
     /// The current grid state (reflecting reservations made so far).
     pub fn graph(&self) -> &GridGraph {
         &self.graph
     }
 
-    /// Plans the nets in order. Failures are recorded, not fatal.
+    /// Plans the nets in order. Failures are recorded, not fatal: a net
+    /// that exhausts its budget, panics, or proves infeasible falls down
+    /// the degradation ladder, and only a net that fails every rung is
+    /// reported as failed.
     pub fn plan(mut self, nets: &[NetSpec]) -> Plan {
         let mut results = Vec::with_capacity(nets.len());
         for net in nets {
-            let outcome = self.route_net(net);
-            let result = match outcome {
-                Ok((path, latency, cycles)) => {
+            let result = match self.plan_net(net) {
+                Ok(((path, latency, cycles), degradation)) => {
                     if self.reserve_routes {
                         self.reserve(&path, net);
                     }
@@ -248,6 +341,7 @@ impl Planner {
                         wirelength: Some(path.wirelength(&self.graph)),
                         path: Some(path),
                         error: None,
+                        degradation,
                     }
                 }
                 Err(e) => NetResult {
@@ -257,6 +351,7 @@ impl Planner {
                     cycles: None,
                     wirelength: None,
                     error: Some(e),
+                    degradation: Degradation::None,
                 },
             };
             results.push(result);
@@ -264,20 +359,64 @@ impl Planner {
         Plan { results }
     }
 
-    fn route_net(&self, net: &NetSpec) -> Result<(RoutedPath, Time, usize), RouteError> {
+    /// Walks the degradation ladder for one net. On total failure the
+    /// error of the *first* (optimal) attempt is returned — it carries
+    /// the most useful diagnostics.
+    fn plan_net(&self, net: &NetSpec) -> Result<(Routed, Degradation), RouteError> {
+        let first_err = match self.attempt(&self.graph, net) {
+            Ok(r) => return Ok((r, Degradation::None)),
+            Err(e) => e,
+        };
+        if !self.degrade || !retryable(&first_err) {
+            return Err(first_err);
+        }
+        if let Some(r) = self.coarse_retry(net) {
+            return Ok((r, Degradation::CoarseGrid));
+        }
+        if let Some(r) = self.unbuffered_fallback(net) {
+            return Ok((r, Degradation::Unbuffered));
+        }
+        Err(first_err)
+    }
+
+    /// One routing attempt inside a panic boundary. A panicking search
+    /// (a bug, or an armed failpoint) is converted into
+    /// [`RouteError::SearchPanicked`] instead of unwinding the batch.
+    fn attempt(&self, graph: &GridGraph, net: &NetSpec) -> Result<Routed, RouteError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match failpoint::hit("plan::net") {
+                Some(FailAction::Panic) => panic!("failpoint plan::net: forced panic"),
+                Some(FailAction::BudgetExhausted) => {
+                    return Err(RouteError::BudgetExceeded {
+                        candidates: 0,
+                        elapsed: std::time::Duration::ZERO,
+                        stage: stage_of(net),
+                    })
+                }
+                Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                None => {}
+            }
+            self.route_net_on(graph, net)
+        }));
+        outcome.unwrap_or_else(|payload| Err(RouteError::SearchPanicked(panic_message(&payload))))
+    }
+
+    fn route_net_on(&self, graph: &GridGraph, net: &NetSpec) -> Result<Routed, RouteError> {
         match net.kind {
             NetKind::Combinational => {
-                let sol = FastPathSpec::new(&self.graph, &self.tech, &self.lib)
+                let sol = FastPathSpec::new(graph, &self.tech, &self.lib)
                     .source(net.source)
                     .sink(net.sink)
+                    .budget(self.budget)
                     .solve()?;
                 Ok((sol.path().clone(), sol.delay(), 1))
             }
             NetKind::Registered { period } => {
-                let sol = RbpSpec::new(&self.graph, &self.tech, &self.lib)
+                let sol = RbpSpec::new(graph, &self.tech, &self.lib)
                     .source(net.source)
                     .sink(net.sink)
                     .period(period)
+                    .budget(self.budget)
                     .solve()?;
                 Ok((
                     sol.path().clone(),
@@ -286,10 +425,11 @@ impl Planner {
                 ))
             }
             NetKind::Gals { t_s, t_t } => {
-                let sol = GalsSpec::new(&self.graph, &self.tech, &self.lib)
+                let sol = GalsSpec::new(graph, &self.tech, &self.lib)
                     .source(net.source)
                     .sink(net.sink)
                     .periods(t_s, t_t)
+                    .budget(self.budget)
                     .solve()?;
                 Ok((
                     sol.path().clone(),
@@ -298,6 +438,47 @@ impl Planner {
                 ))
             }
         }
+    }
+
+    /// Ladder rung 2: rerun the optimal search on a 2×-coarsened grid and
+    /// expand the winning route back onto the fine grid. Returns `None`
+    /// when the rung cannot apply (terminals collide after snapping, the
+    /// connector stubs are blocked, or the coarse search fails too).
+    fn coarse_retry(&self, net: &NetSpec) -> Option<Routed> {
+        let coarse = coarsen(&self.graph);
+        let s_snap = snap(net.source);
+        let t_snap = snap(net.sink);
+        if s_snap == t_snap {
+            return None;
+        }
+        let coarse_net = NetSpec {
+            name: net.name.clone(),
+            source: Point::new(s_snap.x / 2, s_snap.y / 2),
+            sink: Point::new(t_snap.x / 2, t_snap.y / 2),
+            kind: net.kind,
+        };
+        let (path, latency, cycles) = self.attempt(&coarse, &coarse_net).ok()?;
+        let (points, labels) = expand_route(&self.graph, &path, net.source, net.sink)?;
+        let fine = RoutedPath::new(points, labels, &self.lib);
+        Some((fine, latency, cycles))
+    }
+
+    /// Ladder rung 3: a plain unbuffered shortest path — always cheap,
+    /// no timing guarantee. The reported latency is the raw Elmore delay
+    /// of the unbuffered wire.
+    fn unbuffered_fallback(&self, net: &NetSpec) -> Option<Routed> {
+        let path = shortest_path(&self.graph, net.source, net.sink).ok()?;
+        let points = path.points().to_vec();
+        if points.len() < 2 {
+            return None;
+        }
+        let mut labels: Vec<Option<GateId>> = vec![None; points.len()];
+        labels[0] = Some(self.lib.register());
+        let last = labels.len() - 1;
+        labels[last] = Some(self.lib.register());
+        let routed = RoutedPath::new(points, labels, &self.lib);
+        let delay = routed.report(&self.graph, &self.tech, &self.lib).total_delay();
+        Some((routed, delay, 1))
     }
 
     /// Reserves a routed net's resources: its edges are removed from the
@@ -316,9 +497,178 @@ impl Planner {
     }
 }
 
+/// Errors worth retrying further down the ladder. Spec mistakes
+/// (off-grid terminals, bad periods) fail the same way on any grid.
+fn retryable(e: &RouteError) -> bool {
+    matches!(
+        e,
+        RouteError::NoFeasibleRoute
+            | RouteError::BudgetExceeded { .. }
+            | RouteError::SearchPanicked(_)
+    )
+}
+
+/// The search stage a net kind runs (for synthesized budget errors).
+fn stage_of(net: &NetSpec) -> SearchStage {
+    match net.kind {
+        NetKind::Combinational => SearchStage::FastPath,
+        NetKind::Registered { .. } => SearchStage::Rbp,
+        NetKind::Gals { .. } => SearchStage::Gals,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Nearest even-coordinate fine point (the coarse lattice is the even
+/// sublattice: coarse `(cx, cy)` ↔ fine `(2cx, 2cy)`).
+fn snap(p: Point) -> Point {
+    Point::new(p.x - p.x % 2, p.y - p.y % 2)
+}
+
+/// Builds the 2×-coarsened grid with **conservative** blockage mapping:
+/// a coarse edge exists only if both fine sub-edges it expands to are
+/// clear, and coarse insertion sites mirror their fine lattice point. Any
+/// route found on the coarse grid therefore expands to a valid fine
+/// route; feasible fine routes may be lost — that is the price of the
+/// 4× node-count reduction.
+fn coarsen(fine: &GridGraph) -> GridGraph {
+    let cw = fine.width().div_ceil(2);
+    let ch = fine.height().div_ceil(2);
+    let fb = fine.blockage();
+    let mut blk = BlockageMap::new(cw, ch);
+    for cy in 0..ch {
+        for cx in 0..cw {
+            let cp = Point::new(cx, cy);
+            let fp = Point::new(cx * 2, cy * 2);
+            if fb.is_node_blocked(fp) {
+                blk.block_node(cp);
+            }
+            if fb.is_register_blocked(fp) {
+                blk.block_register(cp);
+            }
+            if cx + 1 < cw {
+                let mid = Point::new(fp.x + 1, fp.y);
+                let far = Point::new(fp.x + 2, fp.y);
+                if fb.is_edge_blocked(fp, mid) || fb.is_edge_blocked(mid, far) {
+                    blk.block_edge(cp, Point::new(cx + 1, cy));
+                }
+            }
+            if cy + 1 < ch {
+                let mid = Point::new(fp.x, fp.y + 1);
+                let far = Point::new(fp.x, fp.y + 2);
+                if fb.is_edge_blocked(fp, mid) || fb.is_edge_blocked(mid, far) {
+                    blk.block_edge(cp, Point::new(cx, cy + 1));
+                }
+            }
+        }
+    }
+    GridGraph::new(blk, fine.pitch_x() * 2.0, fine.pitch_y() * 2.0)
+}
+
+/// Axis-aligned L-walk (x first) from `a` to `b` inclusive, or `None` if
+/// a wiring blockage obstructs it. `a` and `b` are at most one fine step
+/// apart per axis in practice (terminal-snapping stubs), but the walk is
+/// general.
+fn connector(fine: &GridGraph, a: Point, b: Point) -> Option<Vec<Point>> {
+    let mut pts = vec![a];
+    let mut cur = a;
+    while cur.x != b.x {
+        let nx = if b.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        let next = Point::new(nx, cur.y);
+        if fine.blockage().is_edge_blocked(cur, next) {
+            return None;
+        }
+        pts.push(next);
+        cur = next;
+    }
+    while cur.y != b.y {
+        let ny = if b.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        let next = Point::new(cur.x, ny);
+        if fine.blockage().is_edge_blocked(cur, next) {
+            return None;
+        }
+        pts.push(next);
+        cur = next;
+    }
+    Some(pts)
+}
+
+/// Expands a coarse-grid route onto the fine grid: every coarse edge
+/// becomes its two fine sub-edges (midpoint unlabelled), and short
+/// connector stubs attach the true terminals when they sit off the even
+/// sublattice. Terminal gate labels move to the true terminals.
+fn expand_route(
+    fine: &GridGraph,
+    coarse_path: &RoutedPath,
+    source: Point,
+    sink: Point,
+) -> Option<(Vec<Point>, Vec<Option<GateId>>)> {
+    let cpts = coarse_path.points();
+    let clbl = coarse_path.labels();
+    let scale = |p: Point| Point::new(p.x * 2, p.y * 2);
+    let s_snap = scale(*cpts.first()?);
+    let t_snap = scale(*cpts.last()?);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut labels: Vec<Option<GateId>> = Vec::new();
+
+    let s_stub = connector(fine, source, s_snap)?;
+    let s_extra = s_stub.len() - 1;
+    for &p in &s_stub[..s_extra] {
+        points.push(p);
+        labels.push(None);
+    }
+
+    for (i, (&cp, &cl)) in cpts.iter().zip(clbl).enumerate() {
+        let fp = scale(cp);
+        points.push(fp);
+        labels.push(cl);
+        if i + 1 < cpts.len() {
+            let fq = scale(cpts[i + 1]);
+            points.push(Point::new((fp.x + fq.x) / 2, (fp.y + fq.y) / 2));
+            labels.push(None);
+        }
+    }
+
+    let t_stub = connector(fine, t_snap, sink)?;
+    let t_extra = t_stub.len() - 1;
+    for &p in &t_stub[1..] {
+        points.push(p);
+        labels.push(None);
+    }
+
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    // The snapped lattice points carried the terminal gates; when a stub
+    // made them interior, the gates belong at the true terminals instead.
+    let gs = clbl[0];
+    let gt = clbl[clbl.len() - 1];
+    if s_extra > 0 {
+        labels[s_extra] = None;
+    }
+    if t_extra > 0 {
+        labels[n - 1 - t_extra] = None;
+    }
+    labels[0] = gs;
+    labels[n - 1] = gt;
+    Some((points, labels))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn setup(n: u32) -> (GridGraph, Technology, GateLibrary) {
         (
@@ -416,7 +766,7 @@ mod tests {
             NetSpec::registered("impossible", p(0, 0), p(11, 11), Time::from_ps(30.0)),
             NetSpec::combinational("fine", p(0, 2), p(11, 2)),
         ];
-        let plan = Planner::new(g, tech, lib).plan(&nets);
+        let plan = Planner::new(g, tech, lib).degrade(false).plan(&nets);
         assert_eq!(plan.failed().count(), 1);
         assert_eq!(plan.routed().count(), 1);
         assert_eq!(
@@ -425,6 +775,27 @@ mod tests {
         );
         assert!(plan.results()[0].to_string().contains("FAILED"));
         assert!(plan.results()[1].is_routed());
+    }
+
+    #[test]
+    fn ladder_rescues_infeasible_period_as_unbuffered() {
+        // Period 30ps is unmeetable for the corner-to-corner span, so the
+        // optimal and coarse rungs both fail; the unbuffered fallback
+        // still produces a best-effort route, flagged as degraded.
+        let (g, tech, lib) = setup(12);
+        let nets = vec![NetSpec::registered(
+            "impossible",
+            p(0, 0),
+            p(11, 11),
+            Time::from_ps(30.0),
+        )];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.failed().count(), 0);
+        assert_eq!(plan.degraded().count(), 1);
+        let r = &plan.results()[0];
+        assert!(r.is_routed());
+        assert_eq!(r.degradation, Degradation::Unbuffered);
+        assert!(r.to_string().contains("degraded"));
     }
 
     #[test]
@@ -456,5 +827,159 @@ mod tests {
         let text = plan.results()[0].to_string();
         assert!(text.starts_with("link:"), "{text}");
         assert!(text.contains("cycles"));
+    }
+
+    /// Disarms all failpoints when dropped, so a failing assertion can't
+    /// leak armed failpoints into other tests on the same thread.
+    struct FailpointGuard;
+    impl Drop for FailpointGuard {
+        fn drop(&mut self) {
+            failpoint::disarm_all();
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_triggers_coarse_retry() {
+        let _guard = FailpointGuard;
+        // The one-shot failpoint exhausts the budget on the optimal
+        // attempt only; the coarsened retry then succeeds.
+        failpoint::arm("fastpath::pop", FailAction::BudgetExhausted, 1);
+        let (g, tech, lib) = setup(24);
+        let nets = vec![NetSpec::combinational("n0", p(0, 0), p(20, 20))];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        let r = &plan.results()[0];
+        assert!(r.is_routed(), "{:?}", r.error);
+        assert_eq!(r.degradation, Degradation::CoarseGrid);
+        // The expanded route really runs terminal to terminal.
+        let path = r.path.as_ref().unwrap();
+        assert_eq!(*path.points().first().unwrap(), p(0, 0));
+        assert_eq!(*path.points().last().unwrap(), p(20, 20));
+    }
+
+    #[test]
+    fn coarse_route_expands_to_valid_fine_route() {
+        let _guard = FailpointGuard;
+        failpoint::arm("fastpath::pop", FailAction::BudgetExhausted, 1);
+        // Odd terminals force connector stubs on both ends.
+        let (g, tech, lib) = setup(24);
+        let nets = vec![NetSpec::combinational("odd", p(1, 1), p(21, 19))];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        let r = &plan.results()[0];
+        assert_eq!(r.degradation, Degradation::CoarseGrid);
+        let path = r.path.as_ref().unwrap();
+        let pts = path.points();
+        assert_eq!(*pts.first().unwrap(), p(1, 1));
+        assert_eq!(*pts.last().unwrap(), p(21, 19));
+        // Every hop is a unit grid step.
+        for w in pts.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+        // Terminal gates sit on the true terminals.
+        assert!(path.labels().first().unwrap().is_some());
+        assert!(path.labels().last().unwrap().is_some());
+    }
+
+    #[test]
+    fn forced_panic_is_isolated_to_one_net() {
+        let _guard = FailpointGuard;
+        // Sticky panic: every fast-path attempt (optimal and coarse) of
+        // the first comb net dies; the planner must survive, fall to the
+        // unbuffered rung, and still route the other nets.
+        failpoint::arm_sticky("fastpath::pop", FailAction::Panic, 1);
+        let (g, tech, lib) = setup(16);
+        let nets = vec![
+            NetSpec::combinational("doomed", p(0, 0), p(15, 15)),
+            NetSpec::registered("ok", p(0, 4), p(15, 4), Time::from_ps(400.0)),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.results()[0].degradation, Degradation::Unbuffered);
+        assert!(plan.results()[1].is_routed());
+        assert_eq!(plan.results()[1].degradation, Degradation::None);
+    }
+
+    #[test]
+    fn panic_without_degradation_reports_search_panicked() {
+        let _guard = FailpointGuard;
+        failpoint::arm_sticky("fastpath::pop", FailAction::Panic, 1);
+        let (g, tech, lib) = setup(16);
+        let nets = vec![NetSpec::combinational("doomed", p(0, 0), p(15, 15))];
+        let plan = Planner::new(g, tech, lib).degrade(false).plan(&nets);
+        let r = &plan.results()[0];
+        assert!(!r.is_routed());
+        assert!(matches!(r.error, Some(RouteError::SearchPanicked(_))));
+    }
+
+    #[test]
+    fn sticky_noroute_falls_through_to_unbuffered() {
+        let _guard = FailpointGuard;
+        failpoint::arm_sticky("fastpath::pop", FailAction::NoRoute, 1);
+        let (g, tech, lib) = setup(16);
+        let nets = vec![NetSpec::combinational("n0", p(0, 0), p(15, 15))];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        let r = &plan.results()[0];
+        assert!(r.is_routed());
+        assert_eq!(r.degradation, Degradation::Unbuffered);
+        // The fallback is a bare wire: registers at the terminals only.
+        let path = r.path.as_ref().unwrap();
+        let interior_gates = path.labels()[1..path.labels().len() - 1]
+            .iter()
+            .filter(|l| l.is_some())
+            .count();
+        assert_eq!(interior_gates, 0);
+    }
+
+    #[test]
+    fn tiny_real_budget_degrades_instead_of_failing() {
+        // No failpoints: a genuinely tiny candidate budget trips both
+        // search rungs, but the budget-free unbuffered wire still lands.
+        let (g, tech, lib) = setup(24);
+        let nets = vec![NetSpec::combinational("n0", p(0, 0), p(23, 23))];
+        let plan = Planner::new(g, tech, lib)
+            .budget(SearchBudget::unlimited().with_max_candidates(5))
+            .plan(&nets);
+        let r = &plan.results()[0];
+        assert!(r.is_routed(), "{:?}", r.error);
+        assert_eq!(r.degradation, Degradation::Unbuffered);
+    }
+
+    #[test]
+    fn degrade_disabled_surfaces_budget_error() {
+        let (g, tech, lib) = setup(24);
+        let nets = vec![NetSpec::combinational("n0", p(0, 0), p(23, 23))];
+        let plan = Planner::new(g, tech, lib)
+            .budget(SearchBudget::unlimited().with_max_candidates(5))
+            .degrade(false)
+            .plan(&nets);
+        assert!(matches!(
+            plan.results()[0].error,
+            Some(RouteError::BudgetExceeded {
+                stage: SearchStage::FastPath,
+                ..
+            })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Whenever the optimal rung is forced to fail, a routed result
+        /// must carry a non-`None` degradation marker — fallbacks never
+        /// masquerade as first-class routes.
+        #[test]
+        fn fallback_routes_are_always_marked(sx in 0u32..12, sy in 0u32..12,
+                                             tx in 0u32..12, ty in 0u32..12) {
+            let _guard = FailpointGuard;
+            failpoint::arm("fastpath::pop", FailAction::NoRoute, 1);
+            let (g, tech, lib) = setup(12);
+            let nets = vec![NetSpec::combinational("n", p(sx, sy), p(tx, ty))];
+            let plan = Planner::new(g, tech, lib).plan(&nets);
+            let r = &plan.results()[0];
+            if r.is_routed() {
+                prop_assert_ne!(r.degradation, Degradation::None);
+                prop_assert!(r.is_degraded());
+            } else {
+                prop_assert_eq!(r.degradation, Degradation::None);
+            }
+        }
     }
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Full local gate: release build, the whole test suite, and clippy with
+# warnings promoted to errors. Run from the repo root.
+set -eu
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be fetched. The workspace only uses `#[derive(Serialize,
+//! Deserialize)]` annotations as forward-looking API surface — nothing
+//! serializes at runtime — so the traits are empty markers and the
+//! derives expand to nothing. Replace `vendor/serde` with the real
+//! crate (same version requirement) once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

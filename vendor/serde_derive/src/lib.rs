@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. Nothing in this workspace actually serializes
+//! values (there is no `serde_json` or similar), so the derives only
+//! need to *exist*: they expand to an empty token stream. Swap the
+//! `vendor/` stubs for the real crates when a registry is available.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,108 @@
+//! Parallel-planner speedup table: wall-clock time for batches of
+//! registered nets on the paper's experimental die (E1/E2 grids) at
+//! 1/2/4/8 worker threads, with resource reservation on and off.
+//!
+//! Every multi-threaded plan is asserted equal to the single-threaded
+//! one before its time is reported — the table never trades correctness
+//! for speed. Useful speedup requires physical cores; on a single-CPU
+//! machine the expected result is ≈1× (scheduling overhead only).
+//!
+//! Usage: `cargo run --release -p clockroute-bench --bin parallel [max_grid]`
+//! (default 200; pass 100 to skip the largest grid).
+
+use clockroute_elmore::{GateLibrary, Technology};
+use clockroute_geom::units::{Length, Time};
+use clockroute_geom::Point;
+use clockroute_grid::GridGraph;
+use clockroute_plan::{NetSpec, Plan, Planner};
+use std::time::Instant;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// A batch of parallel registered nets spanning the die diagonally, like
+/// the E1/E2 source–sink pairs but offset so reservation makes them
+/// compete near the centre.
+fn batch(grid: u32, nets: u32) -> Vec<NetSpec> {
+    let period = Time::from_ps(400.0);
+    (0..nets)
+        .map(|i| {
+            let off = i * grid / (2 * nets);
+            NetSpec::registered(
+                &format!("n{i}"),
+                Point::new(off, 0),
+                Point::new(grid - 1 - off, grid - 1),
+                period,
+            )
+        })
+        .collect()
+}
+
+fn run(
+    graph: &GridGraph,
+    tech: Technology,
+    lib: &GateLibrary,
+    nets: &[NetSpec],
+    reserve: bool,
+    jobs: usize,
+) -> (Plan, f64) {
+    let start = Instant::now();
+    let plan = Planner::new(graph.clone(), tech, lib.clone())
+        .reserve_routes(reserve)
+        .jobs(jobs)
+        .plan(nets);
+    (plan, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let max_grid: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# Parallel planner speedup");
+    println!();
+    println!(
+        "Hardware: {threads} available hardware thread(s). Speedup above 1× \
+         requires real cores; with {threads} the numbers below measure \
+         scheduling overhead, not parallelism."
+    );
+    println!();
+    println!("| grid | nets | reserve | t(1) s | t(2) s | t(4) s | t(8) s | speedup@4 | identical |");
+    println!("|------|------|---------|--------|--------|--------|--------|-----------|-----------|");
+
+    let tech = Technology::paper_070nm();
+    let lib = GateLibrary::paper_library();
+    for &grid in [100u32, 200].iter().filter(|&&g| g <= max_grid) {
+        let fp = clockroute_geom::Floorplan::new(Length::from_mm(25.0), Length::from_mm(25.0));
+        let graph = GridGraph::from_floorplan(&fp, grid, grid);
+        let nets = batch(grid, 8);
+        for reserve in [false, true] {
+            let mut times = Vec::new();
+            let mut identical = true;
+            let mut baseline: Option<Plan> = None;
+            for jobs in JOBS {
+                let (plan, secs) = run(&graph, tech, &lib, &nets, reserve, jobs);
+                match &baseline {
+                    None => baseline = Some(plan),
+                    Some(b) => identical &= *b == plan,
+                }
+                times.push(secs);
+            }
+            assert!(identical, "parallel plan diverged from sequential");
+            let routed = baseline.as_ref().map_or(0, |b| b.routed().count());
+            assert!(routed > 0, "batch routed nothing; benchmark is vacuous");
+            println!(
+                "| {grid}×{grid} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.2}× | yes |",
+                nets.len(),
+                if reserve { "on" } else { "off" },
+                times[0],
+                times[1],
+                times[2],
+                times[3],
+                times[0] / times[2],
+            );
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `crplan` — command-line interconnect planner.
 //!
 //! ```text
-//! usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict]
+//! usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict] [--jobs <n>]
 //! ```
 //!
 //! Reads a scenario file (see [`clockroute_cli::scenario`] for the
@@ -15,6 +15,11 @@
 //! the run. Degraded nets are flagged in the report and counted in the
 //! summary.
 //!
+//! `--jobs <n>` sets the number of routing worker threads (default: the
+//! machine's available parallelism). The plan — and therefore the entire
+//! report — is bit-identical for every job count; parallelism only
+//! changes wall-clock time.
+//!
 //! Exit codes: `0` all nets routed (degraded nets allowed unless
 //! `--strict`), `1` any net failed — or, under `--strict`, was degraded —
 //! `2` usage or scenario errors.
@@ -27,7 +32,8 @@ use clockroute_plan::Planner;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict]";
+const USAGE: &str =
+    "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict] [--jobs <n>]";
 
 struct Options {
     path: String,
@@ -35,6 +41,13 @@ struct Options {
     quiet: bool,
     strict: bool,
     budget: SearchBudget,
+    jobs: usize,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -43,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut quiet = false;
     let mut strict = false;
     let mut budget = SearchBudget::unlimited();
+    let mut jobs = default_jobs();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,6 +70,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--budget-ms needs an integer millisecond count")?;
                 budget = budget.with_deadline(Duration::from_millis(ms));
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a positive integer")?;
+                if jobs == 0 {
+                    return Err("--jobs needs a positive integer".to_owned());
+                }
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -73,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quiet,
         strict,
         budget,
+        jobs,
     })
 }
 
@@ -123,7 +148,8 @@ fn main() -> ExitCode {
 
     let planner = Planner::new(graph.clone(), scenario.tech, lib.clone())
         .reserve_routes(scenario.reserve)
-        .budget(opts.budget);
+        .budget(opts.budget)
+        .jobs(opts.jobs);
     let plan = planner.plan(&scenario.nets);
 
     for result in plan.results() {

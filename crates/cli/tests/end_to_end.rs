@@ -180,6 +180,56 @@ net reg  name=b src=0,4 dst=15,4 period=400
         assert!(stdout.contains("b:"), "{stdout}");
     }
 
+    /// A congested scenario where routes genuinely compete, so the
+    /// parallel scheduler must defer and re-route some nets — the full
+    /// report (routes, latencies, wirelengths, summary) must still be
+    /// byte-identical to the sequential run.
+    const CONGESTED: &str = "\
+die 10mm 10mm
+grid 20 20
+net reg  name=h0 src=0,9 dst=19,9 period=400
+net reg  name=v0 src=9,0 dst=9,19 period=400
+net reg  name=h1 src=0,10 dst=19,10 period=400
+net reg  name=v1 src=10,0 dst=10,19 period=400
+net comb name=d0 src=0,0 dst=19,19
+";
+
+    #[test]
+    fn jobs_flag_does_not_change_the_report() {
+        let path = scenario_file("jobs", CONGESTED);
+        let run = |jobs: &str| {
+            let out = crplan()
+                .arg(&path)
+                .arg("--jobs")
+                .arg(jobs)
+                .output()
+                .expect("run crplan");
+            assert!(out.status.code().is_some(), "killed by signal");
+            (out.status.code(), String::from_utf8_lossy(&out.stdout).into_owned())
+        };
+        let sequential = run("1");
+        assert!(sequential.1.contains("h0:"), "{}", sequential.1);
+        assert_eq!(sequential, run("2"));
+        assert_eq!(sequential, run("4"));
+    }
+
+    #[test]
+    fn bad_jobs_value_exits_two() {
+        let path = scenario_file("badjobs", SMALL);
+        for bad in ["0", "many", "-1"] {
+            let out = crplan()
+                .arg(&path)
+                .arg("--jobs")
+                .arg(bad)
+                .output()
+                .expect("run crplan");
+            assert_eq!(out.status.code(), Some(2), "--jobs {bad}");
+            assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+        }
+        let out = crplan().arg(&path).arg("--jobs").output().expect("run crplan");
+        assert_eq!(out.status.code(), Some(2), "missing value");
+    }
+
     #[test]
     fn hostile_scenario_with_budget_terminates_promptly() {
         // Dense blockage maze on a large grid with unmeetable periods:

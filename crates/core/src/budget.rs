@@ -15,8 +15,13 @@
 //! of the main pop loop and returns
 //! [`RouteError::BudgetExceeded`] with diagnostics when a limit trips.
 //! Candidate and arena caps are exact; the wall clock is sampled every
-//! [`CLOCK_CHECK_INTERVAL`] pops to keep `Instant::now` off the hot path,
-//! so a deadline can overshoot by at most that many pops' worth of work.
+//! [`CLOCK_CHECK_INTERVAL`] pops to keep `Instant::now` off the hot path.
+//! Because a single pop can fan out into a long neighbour/buffer
+//! expansion or wave-promotion burst, the searches additionally charge
+//! each expansion step (`charge_expand`), where the clock is sampled
+//! every [`EXPANSION_CHECK_INTERVAL`] charges — so a deadline overshoots
+//! by at most one sampling interval's worth of work, never by a whole
+//! expansion burst.
 
 use crate::RouteError;
 use serde::{Deserialize, Serialize};
@@ -25,6 +30,11 @@ use std::time::{Duration, Instant};
 
 /// How many candidate pops pass between wall-clock samples.
 pub const CLOCK_CHECK_INTERVAL: u64 = 64;
+
+/// How many expansion charges pass between wall-clock samples.
+/// Expansions are an order of magnitude more frequent than pops, so the
+/// interval is wider to keep `Instant::now` cost negligible.
+pub const EXPANSION_CHECK_INTERVAL: u64 = 256;
 
 /// Which search tripped a budget (diagnostic payload of
 /// [`RouteError::BudgetExceeded`]).
@@ -120,6 +130,7 @@ pub(crate) struct BudgetMeter {
     stage: SearchStage,
     start: Instant,
     popped: u64,
+    expansions: u64,
 }
 
 impl BudgetMeter {
@@ -129,6 +140,7 @@ impl BudgetMeter {
             stage,
             start: Instant::now(),
             popped: 0,
+            expansions: 0,
         }
     }
 
@@ -161,6 +173,24 @@ impl BudgetMeter {
             if self.popped % CLOCK_CHECK_INTERVAL == 1 && self.start.elapsed() > deadline {
                 return Err(self.exceeded());
             }
+        }
+        Ok(())
+    }
+
+    /// Accounts for one expansion step (a neighbour visit, a buffer
+    /// insertion attempt or a wave-promotion move). Only the wall clock is
+    /// enforced here: a pop can fan out into arbitrarily much expansion
+    /// work, and without this check a deadline could overshoot by a whole
+    /// burst.
+    #[inline]
+    pub fn charge_expand(&mut self) -> Result<(), RouteError> {
+        let Some(deadline) = self.budget.deadline else {
+            return Ok(());
+        };
+        self.expansions += 1;
+        if self.expansions.is_multiple_of(EXPANSION_CHECK_INTERVAL) && self.start.elapsed() > deadline
+        {
+            return Err(self.exceeded());
         }
         Ok(())
     }
@@ -229,6 +259,29 @@ mod tests {
         let mut meter = BudgetMeter::new(budget, SearchStage::FastPath);
         meter.popped = 1; // next pop is 2: not a sample point
         assert!(meter.charge_pop(0).is_ok());
+    }
+
+    #[test]
+    fn expand_charges_are_free_without_deadline() {
+        let budget = SearchBudget::unlimited().with_max_candidates(1);
+        let mut meter = BudgetMeter::new(budget, SearchStage::Rbp);
+        for _ in 0..10_000 {
+            assert!(meter.charge_expand().is_ok());
+        }
+    }
+
+    #[test]
+    fn expand_trips_expired_deadline_within_one_interval() {
+        let budget = SearchBudget::unlimited().with_deadline(Duration::ZERO);
+        let mut meter = BudgetMeter::new(budget, SearchStage::Gals);
+        let mut tripped_at = None;
+        for i in 1..=2 * EXPANSION_CHECK_INTERVAL {
+            if meter.charge_expand().is_err() {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(tripped_at, Some(EXPANSION_CHECK_INTERVAL));
     }
 
     #[test]

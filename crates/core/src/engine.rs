@@ -46,6 +46,20 @@ impl Arena {
         id
     }
 
+    /// Bounding box of every node an arena step was allocated for.
+    ///
+    /// All grid state a search reads is at or adjacent to such a node, so
+    /// this box (dilated by one step) over-approximates the search's read
+    /// set — see [`TouchedRegion`](crate::TouchedRegion).
+    pub fn touched(&self, graph: &clockroute_grid::GridGraph) -> Option<crate::TouchedRegion> {
+        let mut steps = self.steps.iter();
+        let mut region = crate::TouchedRegion::of_point(graph.point(steps.next()?.node));
+        for step in steps {
+            region.include(graph.point(step.node));
+        }
+        Some(region)
+    }
+
     /// Walks from `trail` (the source-side head) to the root (the sink),
     /// merging consecutive same-node steps (a gate-insertion step shares
     /// its node with the arrival step it decorates).
@@ -145,10 +159,12 @@ impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` keeps the heap invariant even for non-finite keys
+        // (NaN sorts above +inf instead of comparing equal to everything,
+        // which would silently corrupt heap order).
         other
             .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -168,6 +184,7 @@ impl DelayQueue {
     }
 
     pub fn push(&mut self, key: f64, cand: Cand) {
+        debug_assert!(key.is_finite(), "non-finite queue key {key}");
         self.seq += 1;
         self.heap.push(QueueEntry {
             key,
@@ -358,6 +375,48 @@ mod tests {
         assert_eq!(q.pop().unwrap().delay, 5.0);
         assert!(q.pop().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn arena_touched_covers_all_steps() {
+        use clockroute_geom::units::Length;
+        let g = clockroute_grid::GridGraph::open(8, 8, Length::from_um(1.0));
+        let mut arena = Arena::new();
+        assert!(arena.touched(&g).is_none());
+        let a = arena.push(nid(&g, 2, 3), None, NO_PARENT);
+        arena.push(nid(&g, 6, 1), None, a);
+        let r = arena.touched(&g).unwrap();
+        assert_eq!((r.min_x, r.min_y, r.max_x, r.max_y), (2, 1, 6, 3));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite queue key")]
+    fn nan_key_is_rejected_in_debug_builds() {
+        use clockroute_geom::units::Length;
+        let g = clockroute_grid::GridGraph::open(2, 1, Length::from_um(1.0));
+        let mut q = DelayQueue::new();
+        q.push(f64::NAN, Cand::start(1.0, 0.0, NO_PARENT, nid(&g, 0, 0)));
+    }
+
+    #[test]
+    fn queue_total_order_survives_non_finite_keys() {
+        // Release builds skip the finite-key assert; the heap must still
+        // drain in a sane order rather than corrupting silently.
+        let mut heap = BinaryHeap::new();
+        let g = {
+            use clockroute_geom::units::Length;
+            clockroute_grid::GridGraph::open(2, 1, Length::from_um(1.0))
+        };
+        let cand = Cand::start(1.0, 0.0, NO_PARENT, nid(&g, 0, 0));
+        for (seq, key) in [(1, f64::NAN), (2, 1.0), (3, f64::INFINITY), (4, 0.5)] {
+            heap.push(QueueEntry { key, seq, cand });
+        }
+        let keys: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|e| e.key)).collect();
+        assert_eq!(keys[0], 0.5);
+        assert_eq!(keys[1], 1.0);
+        assert_eq!(keys[2], f64::INFINITY);
+        assert!(keys[3].is_nan());
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! the site is reached. This lets tests drive every rung of the planner's
 //! degradation ladder without relying on timing or workload size.
 //!
-//! The registry is **thread-local**: the planner routes nets sequentially
-//! on the calling thread (its `catch_unwind` isolation does not spawn
-//! threads), so armed points never leak across concurrently running
-//! tests. Arming is either programmatic ([`arm`]) or environment-driven
-//! ([`arm_from_env`]) for end-to-end tests that exercise the `crplan`
-//! binary:
+//! The registry is **thread-local**, so armed points never leak across
+//! concurrently running tests. Code that fans work out to worker threads
+//! (the parallel batch planner) inherits failpoints explicitly: it
+//! snapshots the spawning thread's registry with [`capture`] and each
+//! worker [`install`]s the snapshot before every unit of work, so
+//! `CLOCKROUTE_FAILPOINTS` armed in a binary still fires deterministically
+//! inside workers. Because the snapshot is re-installed per unit of work,
+//! hit counts restart with each unit — `@N` means "the N-th hit *within
+//! one net*" under the parallel planner, versus a global count on the
+//! sequential path. Arming is either programmatic ([`arm`]) or
+//! environment-driven ([`arm_from_env`]) for end-to-end tests that
+//! exercise the `crplan` binary:
 //!
 //! ```text
 //! CLOCKROUTE_FAILPOINTS="rbp::pop=budget@100,plan::net=panic@2+"
@@ -36,7 +42,7 @@ pub enum FailAction {
     NoRoute,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Armed {
     site: String,
     action: FailAction,
@@ -77,6 +83,41 @@ fn arm_with(site: &str, action: FailAction, at: u64, sticky: bool) {
 /// Disarms every failpoint on this thread.
 pub fn disarm_all() {
     REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// A snapshot of one thread's armed failpoints, for handing to workers.
+///
+/// Obtained with [`capture`] on the arming thread; a worker [`install`]s
+/// it to make the same failpoints (including their current hit counts)
+/// active on its own thread. The set is immutable and cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct ArmedSet {
+    armed: Vec<Armed>,
+}
+
+impl ArmedSet {
+    /// `true` when nothing is armed (install still clears the registry).
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+}
+
+/// Snapshots the calling thread's registry, hit counts included.
+pub fn capture() -> ArmedSet {
+    REGISTRY.with(|r| ArmedSet {
+        armed: r.borrow().clone(),
+    })
+}
+
+/// Replaces the calling thread's registry with a snapshot.
+///
+/// Workers call this before each unit of work so hit counting restarts
+/// from the snapshot's state every time, independent of how work was
+/// distributed across threads.
+pub fn install(set: &ArmedSet) {
+    REGISTRY.with(|r| {
+        *r.borrow_mut() = set.armed.clone();
+    });
 }
 
 /// Records a hit at `site` and returns the action to perform, if any.
@@ -195,6 +236,40 @@ mod tests {
     fn unarmed_is_silent() {
         disarm_all();
         assert_eq!(hit("test::anything"), None);
+    }
+
+    #[test]
+    fn capture_and_install_carry_failpoints_across_threads() {
+        disarm_all();
+        arm("test::xthread", FailAction::NoRoute, 2);
+        assert_eq!(hit("test::xthread"), None); // consume hit 1
+        let snapshot = capture();
+        let fired = std::thread::spawn(move || {
+            // Fresh thread: nothing armed until the snapshot is installed.
+            assert_eq!(hit("test::xthread"), None);
+            install(&snapshot);
+            // Hit count was captured at 1, so the next hit is the 2nd.
+            let first = hit("test::xthread");
+            // Re-install resets to the captured count; fires again.
+            install(&snapshot);
+            let second = hit("test::xthread");
+            (first, second)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(fired, (Some(FailAction::NoRoute), Some(FailAction::NoRoute)));
+        disarm_all();
+    }
+
+    #[test]
+    fn install_replaces_existing_registry() {
+        disarm_all();
+        let empty = capture();
+        assert!(empty.is_empty());
+        arm("test::replaced", FailAction::Panic, 1);
+        install(&empty);
+        assert_eq!(hit("test::replaced"), None);
+        disarm_all();
     }
 
     #[test]

@@ -156,6 +156,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
             let last = labels.len() - 1;
             labels[last] = Some(ctx.gt);
             let path = RoutedPath::new(points, labels, ctx.lib);
+            stats.touched = arena.touched(graph);
             return Ok(FastPathSolution {
                 path,
                 delay: Time::from_ps(cand.delay),
@@ -175,6 +176,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
 
         // Step 6 (Fig. 1): extend along each incident edge.
         for v in graph.neighbors(cand.node) {
+            meter.charge_expand()?;
             let (re, ce) = ctx.edge(cand.node, v);
             let cap = cand.cap + ce;
             let delay = cand.delay + re * (cand.cap + ce / 2.0);
@@ -206,6 +208,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
             && graph.is_insertable(cand.node)
         {
             for b in &ctx.buffers {
+                meter.charge_expand()?;
                 let cap = b.cap;
                 let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
                 if !prune.try_admit(cand.node.index(), cap, delay, 0.0, false, &mut stats.pruned)

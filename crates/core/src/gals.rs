@@ -210,6 +210,7 @@ fn solve(
 
             // Step 5: wire expansion, bounded by the current domain period.
             for v in graph.neighbors(cand.node) {
+                meter.charge_expand()?;
                 let (re, ce) = ctx.edge(cand.node, v);
                 let cap = cand.cap + ce;
                 let delay = cand.delay + re * (cand.cap + ce / 2.0);
@@ -239,6 +240,7 @@ fn solve(
             // signal direction — §IV-B).
             if internal && graph.is_insertable(cand.node) {
                 for b in &ctx.buffers {
+                    meter.charge_expand()?;
                     let cap = b.cap;
                     let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
                     if delay > t_cur - ctx.reg_k {
@@ -312,6 +314,7 @@ fn solve(
         stats.waves += 1;
         prune.advance_wave();
         while qstar.peek_key() == Some(l_min) {
+            meter.charge_expand()?;
             let cand = qstar.pop().expect("peeked");
             let key = cand.node.index() * 2 + usize::from(cand.fifo_inserted);
             prune.try_admit(key, cand.cap, cand.delay, 0.0, false, &mut stats.pruned);
@@ -327,8 +330,9 @@ fn build(
     cand: Cand,
     t_s: f64,
     t_t: f64,
-    stats: SearchStats,
+    mut stats: SearchStats,
 ) -> GalsSolution {
+    stats.touched = arena.touched(ctx.graph);
     let (nodes, mut labels) = arena.reconstruct(cand.trail);
     let points: Vec<Point> = nodes.iter().map(|&n| ctx.graph.point(n)).collect();
     labels[0] = Some(ctx.gs);

@@ -280,6 +280,7 @@ fn solve(
                 let total = ctx.finish_at_source(cand.cap, cand.delay);
                 // The source launches exactly at the edge: no borrowing.
                 if total - t + cand.borrowed <= 0.0 {
+                    stats.touched = arena.touched(graph);
                     let (nodes, mut labels) = arena.reconstruct(cand.trail);
                     let points: Vec<Point> = nodes.iter().map(|&nd| graph.point(nd)).collect();
                     labels[0] = Some(ctx.gs);
@@ -299,6 +300,7 @@ fn solve(
             let budget = t - cand.borrowed;
 
             for v in graph.neighbors(cand.node) {
+                meter.charge_expand()?;
                 let (re, ce) = ctx.edge(cand.node, v);
                 let cap = cand.cap + ce;
                 let delay = cand.delay + re * (cand.cap + ce / 2.0);
@@ -325,6 +327,7 @@ fn solve(
 
             if internal && graph.is_insertable(cand.node) {
                 for bf in &ctx.buffers {
+                    meter.charge_expand()?;
                     let cap = bf.cap;
                     let delay = cand.delay + bf.res * cand.cap * 1.0e-3 + bf.k;
                     if delay > budget - latch_k {
@@ -398,12 +401,9 @@ fn solve(
         // Seed the next wave, pruning among its candidates (several may
         // share a node with different lateness).
         let mut next_wave = std::mem::take(&mut spill);
-        next_wave.sort_by(|a, b2| {
-            a.delay
-                .partial_cmp(&b2.delay)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        next_wave.sort_by(|a, b2| a.delay.total_cmp(&b2.delay));
         for cand in next_wave {
+            meter.charge_expand()?;
             let extra = cand.borrowed + b;
             if !prune.try_admit(
                 cand.node.index(),

@@ -70,4 +70,34 @@ pub use gals::GalsSpec;
 pub use latch::{LatchSolution, LatchSpec};
 pub use rbp::{RbpSpec, RbpVariant, TieBreak, WaveTrace};
 pub use result::{FastPathSolution, GalsSolution, RbpSolution, RoutedPath};
-pub use stats::SearchStats;
+pub use stats::{SearchStats, TouchedRegion};
+
+#[cfg(test)]
+mod send_audit {
+    //! The parallel batch planner moves specs and solutions across scoped
+    //! worker threads; these assertions pin down the auto-traits it relies
+    //! on so an accidental `Rc`/`RefCell` in a spec becomes a compile
+    //! error here rather than a planner build failure.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn specs_and_results_cross_threads() {
+        assert_send::<FastPathSpec<'static>>();
+        assert_send::<RbpSpec<'static>>();
+        assert_send::<GalsSpec<'static>>();
+        assert_send::<latch::LatchSpec<'static>>();
+        assert_sync::<FastPathSpec<'static>>();
+        assert_send::<FastPathSolution>();
+        assert_send::<RbpSolution>();
+        assert_send::<GalsSolution>();
+        assert_send::<RoutedPath>();
+        assert_send::<RouteError>();
+        assert_send::<SearchStats>();
+        assert_send::<SearchBudget>();
+        assert_sync::<SearchBudget>();
+        assert_send::<failpoint::ArmedSet>();
+    }
+}

@@ -282,6 +282,7 @@ impl<'a> RbpSpec<'a> {
 
                 // Step 5: wire expansion with admissible bound.
                 for v in graph.neighbors(cand.node) {
+                    meter.charge_expand()?;
                     let (re, ce) = ctx.edge(cand.node, v);
                     let cap = cand.cap + ce;
                     let delay = cand.delay + re * (cand.cap + ce / 2.0);
@@ -311,6 +312,7 @@ impl<'a> RbpSpec<'a> {
                 // Step 7: buffer insertion (`d' ≤ T_φ − K(r)` bound).
                 if internal && graph.is_insertable(cand.node) {
                     for b in &ctx.buffers {
+                        meter.charge_expand()?;
                         let cap = b.cap;
                         let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
                         if delay > t - ctx.reg_k {
@@ -409,6 +411,7 @@ impl<'a> RbpSpec<'a> {
             stats.waves += 1;
             prune.advance_wave();
             for cand in next_wave {
+                meter.charge_expand()?;
                 let extra = prune_extra(slack_mode, cand.sink_stage);
                 prune.try_admit(
                     cand.node.index(),
@@ -431,10 +434,11 @@ impl<'a> RbpSpec<'a> {
         arena: &Arena,
         trail: u32,
         period: Time,
-        stats: SearchStats,
+        mut stats: SearchStats,
         source_stage: f64,
         sink_stage: f64,
     ) -> RbpSolution {
+        stats.touched = arena.touched(ctx.graph);
         let (nodes, mut labels) = arena.reconstruct(trail);
         let points: Vec<Point> = nodes.iter().map(|&n| ctx.graph.point(n)).collect();
         labels[0] = Some(ctx.gs);
@@ -758,6 +762,32 @@ mod tests {
             }
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn wall_clock_deadline_honoured_promptly() {
+        // A long search on a large grid must stop close to the deadline
+        // even while spinning in expansion/promotion work between pops.
+        use std::time::{Duration, Instant};
+        // Big enough that even an optimised build cannot finish inside the
+        // deadline (a release run of this instance takes well over 100 ms).
+        let (g, tech, lib) = setup(250, 250.0);
+        let deadline = Duration::from_millis(5);
+        let start = Instant::now();
+        let result = RbpSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(249, 249))
+            .period(Time::from_ps(100.0))
+            .budget(crate::SearchBudget::unlimited().with_deadline(deadline))
+            .solve();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(result, Err(RouteError::BudgetExceeded { .. })),
+            "{result:?}"
+        );
+        // Generous tolerance for slow CI machines; an unbudgeted run of
+        // this instance takes several seconds.
+        assert!(elapsed < deadline + Duration::from_millis(300), "overshot: {elapsed:?}");
     }
 
     #[test]

@@ -7,8 +7,60 @@
 //! benchmark harness can regenerate the `Configs` / `MaxQSize` columns of
 //! Table I.
 
+use clockroute_geom::Point;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Axis-aligned bounding box of the grid nodes a search examined.
+///
+/// Every blockage or site lookup a search performs happens at, or one
+/// grid step away from, a node it allocated an arena step for (neighbour
+/// enumeration reads edge state incident to the popped node; gate-site
+/// checks read the popped node itself). The box therefore over-approximates
+/// the search's entire read set once dilated by one step — which is what
+/// [`contains_within`](TouchedRegion::contains_within) implements. The
+/// batch planner uses this to prove that a route reservation committed
+/// elsewhere on the grid could not have changed a speculative search's
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TouchedRegion {
+    /// Smallest x coordinate examined.
+    pub min_x: u32,
+    /// Smallest y coordinate examined.
+    pub min_y: u32,
+    /// Largest x coordinate examined.
+    pub max_x: u32,
+    /// Largest y coordinate examined.
+    pub max_y: u32,
+}
+
+impl TouchedRegion {
+    /// The degenerate region covering a single point.
+    pub fn of_point(p: Point) -> TouchedRegion {
+        TouchedRegion {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
+    }
+
+    /// Grows the region to cover `p`.
+    pub fn include(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// `true` if `p` lies inside the region dilated by `margin` steps.
+    pub fn contains_within(&self, p: Point, margin: u32) -> bool {
+        p.x >= self.min_x.saturating_sub(margin)
+            && p.x <= self.max_x.saturating_add(margin)
+            && p.y >= self.min_y.saturating_sub(margin)
+            && p.y <= self.max_y.saturating_add(margin)
+    }
+}
 
 /// Counters accumulated during a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -27,6 +79,10 @@ pub struct SearchStats {
     pub waves: u32,
     /// Candidates skipped as stale when popped (already dominated).
     pub stale_skipped: u64,
+    /// Bounding box of the nodes the search examined, when tracked.
+    /// `None` for searches that read unbounded grid state (coarsened
+    /// retries, the unbuffered fallback).
+    pub touched: Option<TouchedRegion>,
 }
 
 impl SearchStats {
@@ -67,6 +123,25 @@ mod tests {
         s.record_push(5);
         assert_eq!(s.pushed, 3);
         assert_eq!(s.max_queue, 7);
+    }
+
+    #[test]
+    fn touched_region_grows_and_dilates() {
+        let mut r = TouchedRegion::of_point(Point::new(3, 4));
+        r.include(Point::new(1, 6));
+        assert_eq!((r.min_x, r.min_y, r.max_x, r.max_y), (1, 4, 3, 6));
+        assert!(r.contains_within(Point::new(2, 5), 0));
+        assert!(!r.contains_within(Point::new(0, 5), 0));
+        assert!(r.contains_within(Point::new(0, 5), 1));
+        assert!(r.contains_within(Point::new(4, 7), 1));
+        assert!(!r.contains_within(Point::new(5, 7), 1));
+    }
+
+    #[test]
+    fn touched_region_dilation_saturates_at_origin() {
+        let r = TouchedRegion::of_point(Point::new(0, 0));
+        assert!(r.contains_within(Point::new(1, 0), 1));
+        assert!(!r.contains_within(Point::new(2, 0), 1));
     }
 
     #[test]

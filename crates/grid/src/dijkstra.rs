@@ -35,10 +35,11 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; ties broken by node id for determinism.
+        // `total_cmp` keeps the heap invariant even for non-finite
+        // distances instead of collapsing them to "equal".
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

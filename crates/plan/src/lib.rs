@@ -44,6 +44,38 @@
 //! terminals; an unbuffered route ignores timing entirely. Latencies on
 //! degraded nets are therefore estimates, not guarantees.
 //!
+//! # Parallel planning
+//!
+//! [`Planner::jobs`] enables a **speculative-commit scheduler** that
+//! routes independent nets on worker threads while preserving the exact
+//! sequential semantics — the returned [`Plan`] is bit-identical to a
+//! `jobs = 1` run, which the test suite asserts. Each round:
+//!
+//! 1. a **window** of pending nets (4 per worker) is routed speculatively
+//!    against a snapshot of the current grid, workers pulling nets off a
+//!    shared cursor;
+//! 2. outcomes are scanned **in net order**. A net commits if the grid
+//!    region its search examined (tracked as a dilated bounding box) is
+//!    disjoint from every reservation committed earlier in the round —
+//!    then its route really is what a sequential pass would have found;
+//! 3. the first net whose search may have seen stale state stops the
+//!    scan; it and everything after it are re-routed next round against
+//!    the updated grid.
+//!
+//! The first net of every round commits unconditionally (nothing precedes
+//! it), so each round retires at least one net and the scheduler
+//! terminates after at most `n` rounds. Degraded routes and failures are
+//! always treated as conflicting — their searches read unbounded grid
+//! state — so they only commit from the front of a round, where
+//! speculative and sequential execution coincide.
+//!
+//! Determinism caveat: results that depend on **wall-clock budgets**
+//! ([`SearchBudget::with_deadline`](clockroute_core::SearchBudget)) can
+//! differ run to run on a loaded machine regardless of `jobs`; parallel
+//! planning neither fixes nor worsens that. Failpoints are snapshotted
+//! once and re-armed per net on the workers — see
+//! [`clockroute_core::failpoint`] for the threading contract.
+//!
 //! # Example
 //!
 //! ```
@@ -66,6 +98,7 @@
 use clockroute_core::{
     failpoint::{self, FailAction},
     FastPathSpec, GalsSpec, RbpSpec, RouteError, RoutedPath, SearchBudget, SearchStage,
+    TouchedRegion,
 };
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::{Length, Time};
@@ -268,7 +301,8 @@ impl Plan {
     }
 }
 
-/// Sequential multi-net planner with resource reservation.
+/// Multi-net planner with resource reservation; sequential by default,
+/// with an optional deterministic parallel mode ([`Planner::jobs`]).
 #[derive(Debug, Clone)]
 pub struct Planner {
     graph: GridGraph,
@@ -277,10 +311,23 @@ pub struct Planner {
     reserve_routes: bool,
     budget: SearchBudget,
     degrade: bool,
+    jobs: usize,
 }
 
 /// A successful routing attempt, before result bookkeeping.
-type Routed = (RoutedPath, Time, usize);
+#[derive(Debug, Clone)]
+struct Routed {
+    path: RoutedPath,
+    latency: Time,
+    cycles: usize,
+    /// Grid region the winning search examined, when tracked. `None` on
+    /// the degraded rungs (they read unbounded grid state), which forces
+    /// the parallel scheduler to treat them as always conflicting.
+    touched: Option<TouchedRegion>,
+}
+
+/// The outcome of one trip down the degradation ladder.
+type Outcome = Result<(Routed, Degradation), RouteError>;
 
 impl Planner {
     /// Creates a planner over (a private copy of) the grid.
@@ -292,6 +339,7 @@ impl Planner {
             reserve_routes: true,
             budget: SearchBudget::unlimited(),
             degrade: true,
+            jobs: 1,
         }
     }
 
@@ -317,6 +365,15 @@ impl Planner {
         self
     }
 
+    /// Sets the number of worker threads for speculative parallel
+    /// planning (default 1 = fully sequential). The plan is bit-identical
+    /// to the sequential pass for any job count; see the module docs for
+    /// the commit protocol. Values below 1 are clamped to 1.
+    pub fn jobs(mut self, n: usize) -> Planner {
+        self.jobs = n.max(1);
+        self
+    }
+
     /// The current grid state (reflecting reservations made so far).
     pub fn graph(&self) -> &GridGraph {
         &self.graph
@@ -326,37 +383,160 @@ impl Planner {
     /// that exhausts its budget, panics, or proves infeasible falls down
     /// the degradation ladder, and only a net that fails every rung is
     /// reported as failed.
-    pub fn plan(mut self, nets: &[NetSpec]) -> Plan {
+    ///
+    /// With [`Planner::jobs`] above 1, nets are routed speculatively in
+    /// parallel and committed in order; the resulting [`Plan`] is
+    /// bit-identical to the sequential one.
+    pub fn plan(self, nets: &[NetSpec]) -> Plan {
+        if self.jobs <= 1 || nets.len() < 2 {
+            self.plan_sequential(nets)
+        } else {
+            self.plan_parallel(nets)
+        }
+    }
+
+    fn plan_sequential(mut self, nets: &[NetSpec]) -> Plan {
         let mut results = Vec::with_capacity(nets.len());
         for net in nets {
-            let result = match self.plan_net(net) {
-                Ok(((path, latency, cycles), degradation)) => {
-                    if self.reserve_routes {
-                        self.reserve(&path, net);
-                    }
-                    NetResult {
-                        name: net.name.clone(),
-                        latency: Some(latency),
-                        cycles: Some(cycles),
-                        wirelength: Some(path.wirelength(&self.graph)),
-                        path: Some(path),
-                        error: None,
-                        degradation,
-                    }
-                }
-                Err(e) => NetResult {
-                    name: net.name.clone(),
-                    path: None,
-                    latency: None,
-                    cycles: None,
-                    wirelength: None,
-                    error: Some(e),
-                    degradation: Degradation::None,
-                },
-            };
-            results.push(result);
+            let outcome = self.plan_net(net);
+            results.push(self.commit(net, outcome));
         }
         Plan { results }
+    }
+
+    /// The speculative-commit scheduler (see the module docs).
+    ///
+    /// Each round routes a window of pending nets in parallel against the
+    /// current grid, then commits the longest in-order prefix whose
+    /// searches provably did not read any grid state changed by the
+    /// reservations committed earlier in the same round. The first net of
+    /// a round always commits (nothing was reserved before it), so every
+    /// round makes progress and the loop terminates after at most
+    /// `nets.len()` rounds.
+    fn plan_parallel(mut self, nets: &[NetSpec]) -> Plan {
+        let inherited = failpoint::capture();
+        let mut slots: Vec<Option<NetResult>> = nets.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..nets.len()).collect();
+        // Deferred nets are re-routed from scratch, so an over-wide window
+        // multiplies wasted searches when reservations conflict densely;
+        // a window of a few nets per worker keeps the pipeline full
+        // without over-speculating.
+        let window = self.jobs.saturating_mul(4);
+        while !pending.is_empty() {
+            let round = &pending[..pending.len().min(window)];
+            let outcomes = self.speculate(nets, round, &inherited);
+            // Reserved points committed so far this round — the "delta"
+            // between the snapshot the round was routed against and the
+            // grid a sequential pass would have shown each later net.
+            let mut delta: Vec<Point> = Vec::new();
+            let mut accepted = 0;
+            for (outcome, &i) in outcomes.into_iter().zip(round) {
+                if !delta.is_empty() && !unaffected(&outcome, &delta) {
+                    // This net's search may have read state the committed
+                    // reservations changed; it and everything after it
+                    // wait for the next round. Later nets cannot leapfrog:
+                    // they would also need validating against this net's
+                    // as-yet-unknown reservation.
+                    break;
+                }
+                if self.reserve_routes {
+                    if let Ok((routed, _)) = &outcome {
+                        delta.extend_from_slice(routed.path.points());
+                    }
+                }
+                slots[i] = Some(self.commit(&nets[i], outcome));
+                accepted += 1;
+            }
+            debug_assert!(accepted > 0, "the first pending net always commits");
+            pending.drain(..accepted);
+        }
+        Plan {
+            results: slots
+                .into_iter()
+                .map(|r| r.expect("every net planned"))
+                .collect(),
+        }
+    }
+
+    /// Routes `round` (indices into `nets`) in parallel against the
+    /// current grid. Workers pull indices from a shared cursor, so the
+    /// assignment of nets to threads is scheduling-dependent — but every
+    /// net is routed against the same immutable grid by the deterministic
+    /// per-net ladder, so the outcome vector is not.
+    fn speculate(
+        &self,
+        nets: &[NetSpec],
+        round: &[usize],
+        inherited: &failpoint::ArmedSet,
+    ) -> Vec<Outcome> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = self.jobs.min(round.len());
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Outcome)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= round.len() {
+                                break;
+                            }
+                            // Re-install before every net: hit counting
+                            // restarts per net regardless of which worker
+                            // picked it up (per-net semantics, see the
+                            // failpoint module docs).
+                            failpoint::install(inherited);
+                            mine.push((k, self.plan_net(&nets[round[k]])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("planner worker panicked"))
+                .collect()
+        });
+        let mut outcomes: Vec<Option<Outcome>> = round.iter().map(|_| None).collect();
+        for (k, outcome) in collected.into_iter().flatten() {
+            outcomes[k] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("round fully speculated"))
+            .collect()
+    }
+
+    /// Applies one net's outcome to the grid (reservation) and turns it
+    /// into the reported [`NetResult`]. Both planning modes funnel through
+    /// here, which is what makes their outputs directly comparable.
+    fn commit(&mut self, net: &NetSpec, outcome: Outcome) -> NetResult {
+        match outcome {
+            Ok((routed, degradation)) => {
+                if self.reserve_routes {
+                    self.reserve(&routed.path, net);
+                }
+                NetResult {
+                    name: net.name.clone(),
+                    latency: Some(routed.latency),
+                    cycles: Some(routed.cycles),
+                    wirelength: Some(routed.path.wirelength(&self.graph)),
+                    path: Some(routed.path),
+                    error: None,
+                    degradation,
+                }
+            }
+            Err(e) => NetResult {
+                name: net.name.clone(),
+                path: None,
+                latency: None,
+                cycles: None,
+                wirelength: None,
+                error: Some(e),
+                degradation: Degradation::None,
+            },
+        }
     }
 
     /// Walks the degradation ladder for one net. On total failure the
@@ -409,7 +589,12 @@ impl Planner {
                     .sink(net.sink)
                     .budget(self.budget)
                     .solve()?;
-                Ok((sol.path().clone(), sol.delay(), 1))
+                Ok(Routed {
+                    touched: sol.stats().touched,
+                    latency: sol.delay(),
+                    cycles: 1,
+                    path: sol.path().clone(),
+                })
             }
             NetKind::Registered { period } => {
                 let sol = RbpSpec::new(graph, &self.tech, &self.lib)
@@ -418,11 +603,12 @@ impl Planner {
                     .period(period)
                     .budget(self.budget)
                     .solve()?;
-                Ok((
-                    sol.path().clone(),
-                    sol.latency(),
-                    sol.register_count() + 1,
-                ))
+                Ok(Routed {
+                    touched: sol.stats().touched,
+                    latency: sol.latency(),
+                    cycles: sol.register_count() + 1,
+                    path: sol.path().clone(),
+                })
             }
             NetKind::Gals { t_s, t_t } => {
                 let sol = GalsSpec::new(graph, &self.tech, &self.lib)
@@ -431,11 +617,12 @@ impl Planner {
                     .periods(t_s, t_t)
                     .budget(self.budget)
                     .solve()?;
-                Ok((
-                    sol.path().clone(),
-                    sol.latency(),
-                    sol.regs_source_side() + sol.regs_sink_side() + 2,
-                ))
+                Ok(Routed {
+                    touched: sol.stats().touched,
+                    latency: sol.latency(),
+                    cycles: sol.regs_source_side() + sol.regs_sink_side() + 2,
+                    path: sol.path().clone(),
+                })
             }
         }
     }
@@ -457,10 +644,18 @@ impl Planner {
             sink: Point::new(t_snap.x / 2, t_snap.y / 2),
             kind: net.kind,
         };
-        let (path, latency, cycles) = self.attempt(&coarse, &coarse_net).ok()?;
-        let (points, labels) = expand_route(&self.graph, &path, net.source, net.sink)?;
+        let routed = self.attempt(&coarse, &coarse_net).ok()?;
+        let (points, labels) = expand_route(&self.graph, &routed.path, net.source, net.sink)?;
         let fine = RoutedPath::new(points, labels, &self.lib);
-        Some((fine, latency, cycles))
+        Some(Routed {
+            path: fine,
+            latency: routed.latency,
+            cycles: routed.cycles,
+            // The coarse search's footprint is in coarse coordinates and
+            // the rung also probed the fine grid for connector stubs, so
+            // no sound fine-grid footprint exists.
+            touched: None,
+        })
     }
 
     /// Ladder rung 3: a plain unbuffered shortest path — always cheap,
@@ -476,9 +671,15 @@ impl Planner {
         labels[0] = Some(self.lib.register());
         let last = labels.len() - 1;
         labels[last] = Some(self.lib.register());
-        let routed = RoutedPath::new(points, labels, &self.lib);
-        let delay = routed.report(&self.graph, &self.tech, &self.lib).total_delay();
-        Some((routed, delay, 1))
+        let path = RoutedPath::new(points, labels, &self.lib);
+        let delay = path.report(&self.graph, &self.tech, &self.lib).total_delay();
+        Some(Routed {
+            path,
+            latency: delay,
+            cycles: 1,
+            // Dijkstra scans the whole grid; no bounded footprint.
+            touched: None,
+        })
     }
 
     /// Reserves a routed net's resources: its edges are removed from the
@@ -494,6 +695,29 @@ impl Planner {
                 self.graph.blockage_mut().block_node(pt);
             }
         }
+    }
+}
+
+/// `true` when a speculative outcome is provably unchanged by committing
+/// the reservations in `delta` first.
+///
+/// The optimal searches only read grid state at or adjacent to nodes they
+/// expand, and every expanded node lands in the solution's arena — so the
+/// recorded [`TouchedRegion`] (arena bounding box) dilated by one grid
+/// step over-approximates the search's read set. If no reserved point
+/// falls inside that dilation, a sequential re-run on the updated grid
+/// reads exactly the same values at every step and must reproduce the
+/// same result bit for bit.
+///
+/// Everything else — errors, degraded routes, untracked footprints — is
+/// conservatively treated as conflicting and re-routed.
+fn unaffected(outcome: &Outcome, delta: &[Point]) -> bool {
+    match outcome {
+        Ok((routed, Degradation::None)) => match routed.touched {
+            Some(region) => delta.iter().all(|&p| !region.contains_within(p, 1)),
+            None => false,
+        },
+        _ => false,
     }
 }
 
@@ -959,8 +1183,140 @@ mod tests {
         ));
     }
 
+    /// Six registered nets whose straight-line routes all cross the grid
+    /// centre, so reservations genuinely conflict and the parallel
+    /// scheduler must defer and re-route — the interesting case for the
+    /// bit-identicality guarantee.
+    fn crossing_nets() -> Vec<NetSpec> {
+        let t = Time::from_ps(400.0);
+        vec![
+            NetSpec::registered("h0", p(0, 9), p(19, 9), t),
+            NetSpec::registered("v0", p(9, 0), p(9, 19), t),
+            NetSpec::registered("h1", p(0, 10), p(19, 10), t),
+            NetSpec::registered("v1", p(10, 0), p(10, 19), t),
+            NetSpec::registered("d0", p(0, 0), p(19, 19), t),
+            NetSpec::registered("d1", p(0, 19), p(19, 0), t),
+        ]
+    }
+
+    #[test]
+    fn parallel_plan_is_bit_identical_under_conflicts() {
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let run = |jobs: usize| {
+            Planner::new(g.clone(), tech, lib.clone())
+                .jobs(jobs)
+                .plan(&nets)
+        };
+        let sequential = run(1);
+        // The congested centre may degrade or fail late nets — those
+        // outcomes must be reproduced bit for bit too.
+        assert!(sequential.routed().count() >= 4);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn parallel_plan_without_reservation_matches() {
+        // With reservation off there are no conflicts at all; every round
+        // commits its whole window.
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let run = |jobs: usize| {
+            Planner::new(g.clone(), tech, lib.clone())
+                .reserve_routes(false)
+                .jobs(jobs)
+                .plan(&nets)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn worker_panic_lands_on_degradation_ladder() {
+        let _guard = FailpointGuard;
+        // Sticky panic in the fast-path search: every comb net dies on
+        // both search rungs, on whatever worker thread routed it, and
+        // must still come back as an unbuffered fallback.
+        failpoint::arm_sticky("fastpath::pop", FailAction::Panic, 1);
+        let (g, tech, lib) = setup(16);
+        let nets = vec![
+            NetSpec::combinational("doomed0", p(0, 0), p(15, 2)),
+            NetSpec::combinational("doomed1", p(0, 6), p(15, 8)),
+            NetSpec::registered("ok", p(0, 12), p(15, 14), Time::from_ps(400.0)),
+        ];
+        let plan = Planner::new(g, tech, lib).jobs(4).plan(&nets);
+        assert_eq!(plan.results()[0].degradation, Degradation::Unbuffered);
+        assert_eq!(plan.results()[1].degradation, Degradation::Unbuffered);
+        assert_eq!(plan.results()[2].degradation, Degradation::None);
+    }
+
+    #[test]
+    fn one_shot_failpoint_fires_per_net_in_parallel_mode() {
+        let _guard = FailpointGuard;
+        // `@1` one-shot: sequentially this would hit only the first net.
+        // The parallel contract re-arms the snapshot per net, so *every*
+        // net's optimal rung fails once and lands on the coarse rung —
+        // deterministic regardless of worker scheduling.
+        failpoint::arm("fastpath::pop", FailAction::NoRoute, 1);
+        let (g, tech, lib) = setup(24);
+        let nets = vec![
+            NetSpec::combinational("a", p(0, 0), p(20, 2)),
+            NetSpec::combinational("b", p(0, 8), p(20, 10)),
+        ];
+        let plan = Planner::new(g, tech, lib)
+            .reserve_routes(false)
+            .jobs(2)
+            .plan(&nets);
+        for r in plan.results() {
+            assert_eq!(r.degradation, Degradation::CoarseGrid, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn planner_types_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Planner>();
+        assert_send_sync::<Plan>();
+        assert_send_sync::<NetResult>();
+        assert_send_sync::<NetSpec>();
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Core guarantee of the tentpole: for random small batches, the
+        /// parallel scheduler's output is bit-identical to the sequential
+        /// pass at every job count, with reservation both on and off.
+        #[test]
+        fn parallel_plan_matches_sequential(
+            seeds in proptest::collection::vec((0u32..12, 0u32..12, 0u32..12, 0u32..12, 0u8..3), 1..6),
+            reserve_bit in 0u8..2,
+        ) {
+            let reserve = reserve_bit == 1;
+            let (g, tech, lib) = setup(12);
+            let nets: Vec<NetSpec> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(sx, sy, tx, ty, kind))| {
+                    let name = format!("n{i}");
+                    match kind {
+                        0 => NetSpec::combinational(&name, p(sx, sy), p(tx, ty)),
+                        1 => NetSpec::registered(&name, p(sx, sy), p(tx, ty), Time::from_ps(400.0)),
+                        _ => NetSpec::gals(&name, p(sx, sy), p(tx, ty),
+                                           Time::from_ps(300.0), Time::from_ps(400.0)),
+                    }
+                })
+                .collect();
+            let run = |jobs: usize| {
+                Planner::new(g.clone(), tech, lib.clone())
+                    .reserve_routes(reserve)
+                    .jobs(jobs)
+                    .plan(&nets)
+            };
+            let sequential = run(1);
+            prop_assert_eq!(&sequential, &run(2));
+            prop_assert_eq!(&sequential, &run(4));
+        }
 
         /// Whenever the optimal rung is forced to fail, a routed result
         /// must carry a non-`None` degradation marker — fallbacks never

@@ -140,7 +140,7 @@ impl WavePipe {
                 collisions += 1;
             }
         }
-        arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        arrivals.sort_by(f64::total_cmp);
         let span_ns = (arrivals[tokens - 1] - arrivals[0]).max(1e-9) * 1.0e-3;
         WavePipeReport {
             delivered: tokens - collisions,

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# Full local gate: release build, the whole test suite, and clippy with
-# warnings promoted to errors. Run from the repo root.
+# Full local gate: release build, the whole test suite in both profiles
+# (debug catches debug_assert guards; release catches what CI ships), and
+# clippy with warnings promoted to errors. Run from the repo root.
 set -eu
 
 cargo build --release
 cargo test --workspace -q
+cargo test --workspace --release -q
 cargo clippy --all-targets -- -D warnings

@@ -20,7 +20,7 @@
 //! verdict, so a regression in the algorithms shows up as a failed trend,
 //! not just different numbers.
 
-use clockroute_core::{FastPathSpec, GalsSpec, RbpSpec};
+use clockroute_core::{FastPathSpec, GalsSpec, MetricsRecorder, RbpSpec, TelemetryHandle};
 use clockroute_elmore::{GateLibrary, Technology};
 use clockroute_geom::units::{Length, Time};
 use clockroute_geom::{Floorplan, Point};
@@ -159,10 +159,14 @@ pub struct RegPathRow {
     /// Max/min grid separation between successive inserted elements.
     pub max_rb_sep: Option<usize>,
     pub min_rb_sep: Option<usize>,
-    /// Candidates popped (the paper's `Configs`).
+    /// Candidates popped (the paper's `Configs`), read back from the
+    /// telemetry recorder — populated even for infeasible cells, where it
+    /// measures the effort spent proving infeasibility.
     pub configs: u64,
-    /// Maximum queue size.
+    /// Maximum queue size (telemetry gauge).
     pub max_queue: usize,
+    /// Peak search-arena footprint in bytes (telemetry counter).
+    pub arena_bytes: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
 }
@@ -170,6 +174,11 @@ pub struct RegPathRow {
 /// Runs one Table-I/II cell: fast path for `period = None`, RBP
 /// otherwise. Infeasible cells produce a row with `latency = None`
 /// (Table II's empty cells).
+///
+/// Effort columns (`configs`, `max_queue`, `arena_bytes`) are read from a
+/// per-cell [`MetricsRecorder`] attached to the search — the same sink
+/// `crplan --metrics` aggregates — so the harness and the CLI report the
+/// same quantities by construction.
 pub fn run_cell(
     graph: &GridGraph,
     tech: &Technology,
@@ -179,11 +188,14 @@ pub fn run_cell(
     period: Option<f64>,
 ) -> RegPathRow {
     let start = Instant::now();
+    let recorder = MetricsRecorder::new();
+    let telemetry = TelemetryHandle::new(&recorder);
     match period {
         None => {
             let sol = FastPathSpec::new(graph, tech, lib)
                 .source(s)
                 .sink(t)
+                .telemetry(telemetry)
                 .solve()
                 .expect("fast path always feasible on the open die");
             let seps = sol.path().element_separations();
@@ -196,18 +208,23 @@ pub fn run_cell(
                 min_reg_sep: None,
                 max_rb_sep: seps.iter().max().copied(),
                 min_rb_sep: seps.iter().min().copied(),
-                configs: sol.stats().configs,
-                max_queue: sol.stats().max_queue,
+                configs: recorder.counter_value("search.fastpath.pops"),
+                max_queue: recorder.gauge_value("search.fastpath.max_queue") as usize,
+                arena_bytes: recorder.counter_value("search.fastpath.arena_bytes"),
                 seconds: start.elapsed().as_secs_f64(),
             }
         }
         Some(t_phi) => {
-            match RbpSpec::new(graph, tech, lib)
+            let outcome = RbpSpec::new(graph, tech, lib)
                 .source(s)
                 .sink(t)
                 .period(Time::from_ps(t_phi))
-                .solve()
-            {
+                .telemetry(telemetry)
+                .solve();
+            let configs = recorder.counter_value("search.rbp.pops");
+            let max_queue = recorder.gauge_value("search.rbp.max_queue") as usize;
+            let arena_bytes = recorder.counter_value("search.rbp.arena_bytes");
+            match outcome {
                 Ok(sol) => {
                     let reg_seps = sol.path().register_separations(lib);
                     let rb_seps = sol.path().element_separations();
@@ -220,8 +237,9 @@ pub fn run_cell(
                         min_reg_sep: reg_seps.iter().min().copied(),
                         max_rb_sep: rb_seps.iter().max().copied(),
                         min_rb_sep: rb_seps.iter().min().copied(),
-                        configs: sol.stats().configs,
-                        max_queue: sol.stats().max_queue,
+                        configs,
+                        max_queue,
+                        arena_bytes,
                         seconds: start.elapsed().as_secs_f64(),
                     }
                 }
@@ -234,8 +252,9 @@ pub fn run_cell(
                     min_reg_sep: None,
                     max_rb_sep: None,
                     min_rb_sep: None,
-                    configs: 0,
-                    max_queue: 0,
+                    configs,
+                    max_queue,
+                    arena_bytes,
                     seconds: start.elapsed().as_secs_f64(),
                 },
             }
@@ -262,6 +281,7 @@ pub struct GalsRow {
     pub reg_s: usize,
     pub latency: f64,
     pub configs: u64,
+    pub arena_bytes: u64,
     pub seconds: f64,
 }
 
@@ -272,10 +292,12 @@ pub fn table3(grid: u32, pairs: &[(f64, f64)]) -> Vec<GalsRow> {
         .iter()
         .map(|&(ts, tt)| {
             let start = Instant::now();
+            let recorder = MetricsRecorder::new();
             let sol = GalsSpec::new(&graph, &tech, &lib)
                 .source(s)
                 .sink(t)
                 .periods(Time::from_ps(ts), Time::from_ps(tt))
+                .telemetry(TelemetryHandle::new(&recorder))
                 .solve()
                 .expect("GALS feasible at Table III periods");
             GalsRow {
@@ -285,7 +307,8 @@ pub fn table3(grid: u32, pairs: &[(f64, f64)]) -> Vec<GalsRow> {
                 reg_t: sol.regs_sink_side(),
                 reg_s: sol.regs_source_side(),
                 latency: sol.latency().ps(),
-                configs: sol.stats().configs,
+                configs: recorder.counter_value("search.gals.pops"),
+                arena_bytes: recorder.counter_value("search.gals.arena_bytes"),
                 seconds: start.elapsed().as_secs_f64(),
             }
         })
@@ -351,9 +374,9 @@ pub fn format_regpath_table(
 ) -> String {
     let mut out = String::new();
     out.push_str(
-        "| T_phi (ps) | Latency (ps) | paper | Regs | paper | Bufs | paper | MaxRegSep | MinRegSep | Max R/B | Min R/B | Configs | MaxQ | time (s) |\n",
+        "| T_phi (ps) | Latency (ps) | paper | Regs | paper | Bufs | paper | MaxRegSep | MinRegSep | Max R/B | Min R/B | Configs | MaxQ | Arena (B) | time (s) |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for row in rows {
         let paper = reference
             .iter()
@@ -365,7 +388,7 @@ pub fn format_regpath_table(
         let fmt_opt = |v: Option<usize>| v.map_or("-".to_owned(), |x| x.to_string());
         let fmt_lat = |v: Option<f64>| v.map_or("infeas.".to_owned(), |x| format!("{x:.0}"));
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |\n",
             row.period.map_or("inf".to_owned(), |p| format!("{p:.0}")),
             fmt_lat(row.latency),
             paper.map_or("-".to_owned(), |(_, l, ..)| {
@@ -385,6 +408,7 @@ pub fn format_regpath_table(
             fmt_opt(row.min_rb_sep),
             row.configs,
             row.max_queue,
+            row.arena_bytes,
             row.seconds,
         ));
     }
@@ -395,15 +419,15 @@ pub fn format_regpath_table(
 pub fn format_table3(rows: &[GalsRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| T_s | T_t | Bufs | paper | Reg-t | paper | Reg-s | paper | Latency | paper | Configs | time (s) |\n",
+        "| T_s | T_t | Bufs | paper | Reg-t | paper | Reg-s | paper | Latency | paper | Configs | Arena (B) | time (s) |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for row in rows {
         let paper = PAPER_TABLE3
             .iter()
             .find(|(ts, tt, ..)| (ts - row.t_s).abs() < 1e-9 && (tt - row.t_t).abs() < 1e-9);
         out.push_str(&format!(
-            "| {:.0} | {:.0} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.2} |\n",
+            "| {:.0} | {:.0} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {} | {:.2} |\n",
             row.t_s,
             row.t_t,
             row.buffers,
@@ -415,6 +439,7 @@ pub fn format_table3(rows: &[GalsRow]) -> String {
             row.latency,
             paper.map_or("-".to_owned(), |&(.., l)| format!("{l:.0}")),
             row.configs,
+            row.arena_bytes,
             row.seconds,
         ));
     }
@@ -449,6 +474,42 @@ mod tests {
         assert!(rbp.registers.unwrap() >= 3);
         let infeasible = run_cell(&graph, &tech, &lib, s, t, Some(49.0));
         assert!(infeasible.latency.is_none());
+        // The recorder survives the error path, so even an infeasible cell
+        // reports the effort spent proving infeasibility.
+        assert!(infeasible.configs > 0);
+        assert!(infeasible.arena_bytes > 0);
+    }
+
+    #[test]
+    fn recorder_effort_columns_match_solution_stats() {
+        // The harness reads Configs/MaxQ from the telemetry recorder; they
+        // must agree with the numbers the solution itself reports.
+        let (graph, tech, lib, s, t) = paper_setup(25);
+
+        let fast = run_cell(&graph, &tech, &lib, s, t, None);
+        let fast_sol = FastPathSpec::new(&graph, &tech, &lib)
+            .source(s)
+            .sink(t)
+            .solve()
+            .unwrap();
+        assert_eq!(fast.configs, fast_sol.stats().configs);
+        assert_eq!(fast.max_queue, fast_sol.stats().max_queue);
+        assert_eq!(fast.arena_bytes, fast_sol.stats().arena_bytes());
+
+        let rbp = run_cell(&graph, &tech, &lib, s, t, Some(700.0));
+        let rbp_sol = RbpSpec::new(&graph, &tech, &lib)
+            .source(s)
+            .sink(t)
+            .period(Time::from_ps(700.0))
+            .solve()
+            .unwrap();
+        assert_eq!(rbp.configs, rbp_sol.stats().configs);
+        assert_eq!(rbp.max_queue, rbp_sol.stats().max_queue);
+        assert_eq!(rbp.arena_bytes, rbp_sol.stats().arena_bytes());
+
+        let gals = table3(25, &[(300.0, 300.0)]);
+        assert!(gals[0].configs > 0);
+        assert!(gals[0].arena_bytes > 0);
     }
 
     #[test]

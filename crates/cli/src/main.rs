@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict] [--jobs <n>]
+//!               [--metrics <file>] [--trace <file>]
 //! ```
 //!
 //! Reads a scenario file (see [`clockroute_cli::scenario`] for the
@@ -20,20 +21,30 @@
 //! report — is bit-identical for every job count; parallelism only
 //! changes wall-clock time.
 //!
+//! `--metrics <file>` writes the aggregated telemetry counters/gauges as
+//! a JSON object; the file is byte-identical for every `--jobs` value.
+//! `--trace <file>` writes the full telemetry stream (spans and
+//! scheduling events included) as JSONL; traces are for reading one run
+//! and are *not* deterministic. A summary table of the counters is also
+//! appended to the report unless `--quiet`.
+//!
 //! Exit codes: `0` all nets routed (degraded nets allowed unless
 //! `--strict`), `1` any net failed — or, under `--strict`, was degraded —
 //! `2` usage or scenario errors.
 
 use clockroute_cli::scenario;
-use clockroute_core::{failpoint, SearchBudget};
+use clockroute_core::telemetry::Tee;
+use clockroute_core::{failpoint, MetricsRecorder, SearchBudget, Telemetry, TraceWriter};
 use clockroute_elmore::GateLibrary;
 use clockroute_grid::{render_grid, GridGraph, RenderOptions};
-use clockroute_plan::Planner;
+use clockroute_plan::{Planner, SharedTelemetry};
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict] [--jobs <n>]";
+const USAGE: &str = "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] \
+                     [--strict] [--jobs <n>] [--metrics <file>] [--trace <file>]";
 
 struct Options {
     path: String,
@@ -42,6 +53,8 @@ struct Options {
     strict: bool,
     budget: SearchBudget,
     jobs: usize,
+    metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn default_jobs() -> usize {
@@ -57,6 +70,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut strict = false;
     let mut budget = SearchBudget::unlimited();
     let mut jobs = default_jobs();
+    let mut metrics = None;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -81,6 +96,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs needs a positive integer".to_owned());
                 }
             }
+            "--metrics" => {
+                metrics = Some(it.next().ok_or("--metrics needs a file path")?.clone());
+            }
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -98,6 +119,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strict,
         budget,
         jobs,
+        metrics,
+        trace,
     })
 }
 
@@ -146,10 +169,33 @@ fn main() -> ExitCode {
         );
     }
 
+    // The recorder is always attached: its counters are deterministic (a
+    // pure function of the scenario, independent of --jobs), so the
+    // summary table below is part of the reproducible report. The trace
+    // writer, when requested, sees the same stream plus scheduling events.
+    let recorder = Arc::new(MetricsRecorder::new());
+    let mut trace_tee = None;
+    let sink: Arc<dyn Telemetry + Send + Sync> = match &opts.trace {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let tee = Arc::new(Tee(recorder.clone(), TraceWriter::new(BufWriter::new(file))));
+            trace_tee = Some(tee.clone());
+            tee
+        }
+        None => recorder.clone(),
+    };
+
     let planner = Planner::new(graph.clone(), scenario.tech, lib.clone())
         .reserve_routes(scenario.reserve)
         .budget(opts.budget)
-        .jobs(opts.jobs);
+        .jobs(opts.jobs)
+        .telemetry(SharedTelemetry::new(sink));
     let plan = planner.plan(&scenario.nets);
 
     for result in plan.results() {
@@ -192,6 +238,30 @@ fn main() -> ExitCode {
             plan.total_synchronizers(),
             plan.max_cycles().unwrap_or(0)
         );
+    }
+    if !opts.quiet {
+        println!("# telemetry");
+        for row in recorder.summary_rows() {
+            println!("#   {row}");
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        let mut json = recorder.to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(tee) = trace_tee {
+        // The planner has released its clone, so the unwrap succeeds and
+        // write errors surface instead of vanishing in a drop.
+        if let Ok(tee) = Arc::try_unwrap(tee) {
+            if let Err(e) = tee.1.into_inner().flush() {
+                eprintln!("error: cannot write trace: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if failed > 0 || (opts.strict && degraded > 0) {
         ExitCode::FAILURE

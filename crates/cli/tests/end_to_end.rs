@@ -213,6 +213,90 @@ net comb name=d0 src=0,0 dst=19,19
         assert_eq!(sequential, run("4"));
     }
 
+    /// The repo's stress scenario: congested die, one infeasible net, one
+    /// GALS crossing — exercises every search stage and the degradation
+    /// ladder at once.
+    fn stress_scenario() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios/stress.cr")
+    }
+
+    /// Unique temp-file path for a run artifact.
+    fn artifact(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crplan-e2e-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn metrics_file_is_byte_identical_across_job_counts() {
+        let scenario = stress_scenario();
+        let run = |jobs: &str, tag: &str| {
+            let metrics = artifact(&format!("metrics-{tag}.json"));
+            let out = crplan()
+                .arg(&scenario)
+                .arg("--jobs")
+                .arg(jobs)
+                .arg("--metrics")
+                .arg(&metrics)
+                .output()
+                .expect("run crplan");
+            assert!(out.status.code().is_some(), "killed by signal");
+            std::fs::read(&metrics).expect("metrics file written")
+        };
+        let sequential = run("1", "j1");
+        assert_eq!(sequential, run("4", "j4"), "metrics depend on --jobs");
+        assert_eq!(sequential, run("1", "j1b"), "metrics not reproducible");
+    }
+
+    #[test]
+    fn metrics_and_trace_files_are_well_formed() {
+        use clockroute_core::telemetry::{validate_json, validate_jsonl};
+        let scenario = stress_scenario();
+        let metrics = artifact("wellformed.json");
+        let trace = artifact("wellformed.jsonl");
+        let out = crplan()
+            .arg(&scenario)
+            .arg("--metrics")
+            .arg(&metrics)
+            .arg("--trace")
+            .arg(&trace)
+            .output()
+            .expect("run crplan");
+        assert!(out.status.code().is_some(), "killed by signal");
+
+        let json = std::fs::read_to_string(&metrics).expect("metrics written");
+        validate_json(&json).expect("metrics must be one valid JSON object");
+        assert!(json.contains("\"plan.nets.routed\""), "{json}");
+        assert!(json.contains("\"search.rbp.pops\""), "{json}");
+        assert!(json.contains("\"search.gals.pops\""), "{json}");
+
+        let jsonl = std::fs::read_to_string(&trace).expect("trace written");
+        validate_jsonl(&jsonl).expect("trace must be valid JSONL");
+        assert!(jsonl.lines().count() > 10, "suspiciously short trace");
+        // Trace-only records: spans carry wall-clock, events scheduling.
+        assert!(jsonl.contains("\"kind\":\"span\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"event\""), "{jsonl}");
+        // And the deterministic stream is in there too.
+        assert!(jsonl.contains("\"kind\":\"counter\""), "{jsonl}");
+    }
+
+    #[test]
+    fn report_includes_telemetry_summary_table() {
+        let scenario = stress_scenario();
+        let out = crplan().arg(&scenario).output().expect("run crplan");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("# telemetry"), "{stdout}");
+        assert!(stdout.contains("search.rbp.pops"), "{stdout}");
+        assert!(stdout.contains("plan.nets.routed"), "{stdout}");
+        // --quiet suppresses the table along with the rest of the chrome.
+        let out = crplan()
+            .arg(&scenario)
+            .arg("--quiet")
+            .output()
+            .expect("run crplan");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(!stdout.contains("# telemetry"), "{stdout}");
+    }
+
     #[test]
     fn bad_jobs_value_exits_two() {
         let path = scenario_file("badjobs", SMALL);

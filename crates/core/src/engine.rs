@@ -23,6 +23,11 @@ pub(crate) struct Step {
     pub parent: u32,
 }
 
+/// Size of one arena step record, for arena-memory telemetry.
+pub(crate) fn step_size_bytes() -> usize {
+    std::mem::size_of::<Step>()
+}
+
 /// Append-only arena of [`Step`]s shared by all candidates of a search.
 #[derive(Debug, Default)]
 pub(crate) struct Arena {

@@ -13,6 +13,7 @@ use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
 use crate::failpoint::{self, FailAction};
+use crate::telemetry::TelemetryHandle;
 use crate::{FastPathSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
@@ -49,6 +50,7 @@ pub struct FastPathSpec<'a> {
     source_gate: GateId,
     sink_gate: GateId,
     budget: SearchBudget,
+    telemetry: TelemetryHandle<'a>,
 }
 
 impl<'a> FastPathSpec<'a> {
@@ -64,6 +66,7 @@ impl<'a> FastPathSpec<'a> {
             source_gate: lib.register(),
             sink_gate: lib.register(),
             budget: SearchBudget::unlimited(),
+            telemetry: TelemetryHandle::none(),
         }
     }
 
@@ -97,6 +100,13 @@ impl<'a> FastPathSpec<'a> {
         self
     }
 
+    /// Attaches a telemetry sink (default: none; see
+    /// [`telemetry`](crate::telemetry)).
+    pub fn telemetry(mut self, t: TelemetryHandle<'a>) -> Self {
+        self.telemetry = t;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -113,14 +123,22 @@ impl<'a> FastPathSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx, self.budget)
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+        let out = solve(&ctx, self.budget, &mut stats);
+        self.telemetry
+            .flush_search("fastpath", &stats, started.elapsed(), out.is_ok());
+        out
     }
 }
 
-fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteError> {
+fn solve(
+    ctx: &Ctx<'_>,
+    budget: SearchBudget,
+    stats: &mut SearchStats,
+) -> Result<FastPathSolution, RouteError> {
     let graph = ctx.graph;
     let mut meter = BudgetMeter::new(budget, SearchStage::FastPath);
-    let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     let mut queue = DelayQueue::new();
     let mut prune = PruneTable::new(graph.node_count());
@@ -146,6 +164,8 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
             Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
             None => {}
         }
+        stats.budget_charges += 1;
+        stats.arena_steps = arena.len() as u64;
         meter.charge_pop(arena.len())?;
         stats.configs += 1;
         if cand.finalized {
@@ -160,7 +180,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
             return Ok(FastPathSolution {
                 path,
                 delay: Time::from_ps(cand.delay),
-                stats,
+                stats: *stats,
             });
         }
         if prune.is_stale(
@@ -176,6 +196,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
 
         // Step 6 (Fig. 1): extend along each incident edge.
         for v in graph.neighbors(cand.node) {
+            stats.budget_charges += 1;
             meter.charge_expand()?;
             let (re, ce) = ctx.edge(cand.node, v);
             let cap = cand.cap + ce;
@@ -208,6 +229,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
             && graph.is_insertable(cand.node)
         {
             for b in &ctx.buffers {
+                stats.budget_charges += 1;
                 meter.charge_expand()?;
                 let cap = b.cap;
                 let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
@@ -225,6 +247,7 @@ fn solve(ctx: &Ctx<'_>, budget: SearchBudget) -> Result<FastPathSolution, RouteE
         }
     }
 
+    stats.arena_steps = arena.len() as u64;
     Err(RouteError::NoFeasibleRoute)
 }
 
@@ -482,6 +505,49 @@ mod tests {
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
         assert!(panicked.is_err());
         failpoint::disarm_all();
+    }
+
+    #[test]
+    fn telemetry_counters_match_stats() {
+        let (g, tech, lib) = setup(8, 250.0);
+        let rec = crate::MetricsRecorder::new();
+        let sol = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(7, 7))
+            .telemetry(TelemetryHandle::new(&rec))
+            .solve()
+            .unwrap();
+        let s = sol.stats();
+        assert_eq!(rec.counter_value("search.fastpath.solves"), 1);
+        assert_eq!(rec.counter_value("search.fastpath.errors"), 0);
+        assert_eq!(rec.counter_value("search.fastpath.pops"), s.configs);
+        assert_eq!(rec.counter_value("search.fastpath.pushed"), s.pushed);
+        assert_eq!(rec.counter_value("search.fastpath.arena_bytes"), s.arena_bytes());
+        assert_eq!(
+            rec.gauge_value("search.fastpath.max_queue"),
+            s.max_queue as u64
+        );
+        assert!(s.budget_charges >= s.configs);
+        assert!(s.arena_steps > 0);
+    }
+
+    #[test]
+    fn telemetry_flushes_on_error_too() {
+        let (g, tech, lib) = setup(12, 250.0);
+        let rec = crate::MetricsRecorder::new();
+        let err = FastPathSpec::new(&g, &tech, &lib)
+            .source(p(0, 0))
+            .sink(p(11, 11))
+            .budget(crate::SearchBudget::unlimited().with_max_candidates(5))
+            .telemetry(TelemetryHandle::new(&rec))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, RouteError::BudgetExceeded { .. }));
+        assert_eq!(rec.counter_value("search.fastpath.errors"), 1);
+        // The partial search effort is still accounted (the sixth pop
+        // trips the cap before it is counted as examined).
+        assert_eq!(rec.counter_value("search.fastpath.pops"), 5);
+        assert!(rec.counter_value("search.fastpath.budget_charges") >= 6);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
 use crate::failpoint::{self, FailAction};
+use crate::telemetry::TelemetryHandle;
 use crate::{GalsSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateKind, GateLibrary, Technology};
 use clockroute_geom::units::Time;
@@ -66,6 +67,7 @@ pub struct GalsSpec<'a> {
     t_s: Option<Time>,
     t_t: Option<Time>,
     budget: SearchBudget,
+    telemetry: TelemetryHandle<'a>,
 }
 
 impl<'a> GalsSpec<'a> {
@@ -82,6 +84,7 @@ impl<'a> GalsSpec<'a> {
             t_s: None,
             t_t: None,
             budget: SearchBudget::unlimited(),
+            telemetry: TelemetryHandle::none(),
         }
     }
 
@@ -110,6 +113,12 @@ impl<'a> GalsSpec<'a> {
         self
     }
 
+    /// Attaches a telemetry sink (default: detached, zero-cost).
+    pub fn telemetry(mut self, t: TelemetryHandle<'a>) -> Self {
+        self.telemetry = t;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -133,7 +142,12 @@ impl<'a> GalsSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx, t_s.ps(), t_t.ps(), self.budget)
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+        let out = solve(&ctx, t_s.ps(), t_t.ps(), self.budget, &mut stats);
+        self.telemetry
+            .flush_search("gals", &stats, started.elapsed(), out.is_ok());
+        out
     }
 }
 
@@ -152,11 +166,11 @@ fn solve(
     t_s: f64,
     t_t: f64,
     budget: SearchBudget,
+    stats: &mut SearchStats,
 ) -> Result<GalsSolution, RouteError> {
     let graph = ctx.graph;
     let n = graph.node_count();
     let mut meter = BudgetMeter::new(budget, SearchStage::Gals);
-    let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     // Separate Pareto fronts per z: key = node·2 + z.
     let mut prune = PruneTable::new(n * 2);
@@ -190,6 +204,8 @@ fn solve(
                 Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
                 None => {}
             }
+            stats.budget_charges += 1;
+            stats.arena_steps = arena.len() as u64;
             meter.charge_pop(arena.len())?;
             stats.configs += 1;
             let z = cand.fifo_inserted;
@@ -204,12 +220,14 @@ fn solve(
             if cand.node == ctx.s && z {
                 let total = ctx.finish_at_source(cand.cap, cand.delay);
                 if total <= t_s {
-                    return Ok(build(ctx, &arena, cand, t_s, t_t, stats));
+                    stats.arena_steps = arena.len() as u64;
+                    return Ok(build(ctx, &arena, cand, t_s, t_t, *stats));
                 }
             }
 
             // Step 5: wire expansion, bounded by the current domain period.
             for v in graph.neighbors(cand.node) {
+                stats.budget_charges += 1;
                 meter.charge_expand()?;
                 let (re, ce) = ctx.edge(cand.node, v);
                 let cap = cand.cap + ce;
@@ -240,6 +258,7 @@ fn solve(
             // signal direction — §IV-B).
             if internal && graph.is_insertable(cand.node) {
                 for b in &ctx.buffers {
+                    stats.budget_charges += 1;
                     meter.charge_expand()?;
                     let cap = b.cap;
                     let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
@@ -309,11 +328,14 @@ fn solve(
 
         // ExtractAllMin(Q*): promote the minimum-latency wave front.
         let Some(l_min) = qstar.peek_key() else {
+            stats.arena_steps = arena.len() as u64;
             return Err(RouteError::NoFeasibleRoute);
         };
         stats.waves += 1;
         prune.advance_wave();
         while qstar.peek_key() == Some(l_min) {
+            stats.budget_charges += 1;
+            stats.promoted += 1;
             meter.charge_expand()?;
             let cand = qstar.pop().expect("peeked");
             let key = cand.node.index() * 2 + usize::from(cand.fifo_inserted);

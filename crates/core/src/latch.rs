@@ -33,6 +33,7 @@ use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
 use crate::failpoint::{self, FailAction};
+use crate::telemetry::TelemetryHandle;
 use crate::{RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
@@ -74,6 +75,7 @@ pub struct LatchSpec<'a> {
     period: Option<Time>,
     borrow: Time,
     budget: SearchBudget,
+    telemetry: TelemetryHandle<'a>,
 }
 
 impl<'a> LatchSpec<'a> {
@@ -91,6 +93,7 @@ impl<'a> LatchSpec<'a> {
             period: None,
             borrow: Time::ZERO,
             budget: SearchBudget::unlimited(),
+            telemetry: TelemetryHandle::none(),
         }
     }
 
@@ -124,6 +127,12 @@ impl<'a> LatchSpec<'a> {
         self
     }
 
+    /// Attaches a telemetry sink (default: detached, zero-cost).
+    pub fn telemetry(mut self, t: TelemetryHandle<'a>) -> Self {
+        self.telemetry = t;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -144,7 +153,12 @@ impl<'a> LatchSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
-        solve(&ctx, t_phi, self.borrow, self.budget)
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+        let out = solve(&ctx, t_phi, self.borrow, self.budget, &mut stats);
+        self.telemetry
+            .flush_search("latch", &stats, started.elapsed(), out.is_ok());
+        out
     }
 }
 
@@ -222,13 +236,13 @@ fn solve(
     t_phi: Time,
     borrow: Time,
     search_budget: SearchBudget,
+    stats: &mut SearchStats,
 ) -> Result<LatchSolution, RouteError> {
     let graph = ctx.graph;
     let t = t_phi.ps();
     let b = borrow.ps();
     let n = graph.node_count();
     let mut meter = BudgetMeter::new(search_budget, SearchStage::Latch);
-    let mut stats = SearchStats::new();
     let mut arena = Arena::new();
     let mut prune = PruneTable::new(n);
     // Unlike RBP, a node may receive latch insertions from several
@@ -268,6 +282,8 @@ fn solve(
                 Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
                 None => {}
             }
+            stats.budget_charges += 1;
+            stats.arena_steps = arena.len() as u64;
             meter.charge_pop(arena.len())?;
             stats.configs += 1;
             let extra = cand.borrowed + b; // shifted to ≥ 0
@@ -280,6 +296,7 @@ fn solve(
                 let total = ctx.finish_at_source(cand.cap, cand.delay);
                 // The source launches exactly at the edge: no borrowing.
                 if total - t + cand.borrowed <= 0.0 {
+                    stats.arena_steps = arena.len() as u64;
                     stats.touched = arena.touched(graph);
                     let (nodes, mut labels) = arena.reconstruct(cand.trail);
                     let points: Vec<Point> = nodes.iter().map(|&nd| graph.point(nd)).collect();
@@ -290,7 +307,7 @@ fn solve(
                         path: RoutedPath::new(points, labels, ctx.lib),
                         period: t_phi,
                         borrow,
-                        stats,
+                        stats: *stats,
                     });
                 }
             }
@@ -300,6 +317,7 @@ fn solve(
             let budget = t - cand.borrowed;
 
             for v in graph.neighbors(cand.node) {
+                stats.budget_charges += 1;
                 meter.charge_expand()?;
                 let (re, ce) = ctx.edge(cand.node, v);
                 let cap = cand.cap + ce;
@@ -327,6 +345,7 @@ fn solve(
 
             if internal && graph.is_insertable(cand.node) {
                 for bf in &ctx.buffers {
+                    stats.budget_charges += 1;
                     meter.charge_expand()?;
                     let cap = bf.cap;
                     let delay = cand.delay + bf.res * cand.cap * 1.0e-3 + bf.k;
@@ -385,6 +404,7 @@ fn solve(
         }
 
         if spill.is_empty() {
+            stats.arena_steps = arena.len() as u64;
             return Err(RouteError::NoFeasibleRoute);
         }
         // Termination bound: every latch occupies a distinct node
@@ -394,6 +414,7 @@ fn solve(
         // may all legitimately latch at the same node), so without this
         // cap an infeasible instance would spawn waves forever.
         if stats.waves as usize >= graph.node_count() {
+            stats.arena_steps = arena.len() as u64;
             return Err(RouteError::NoFeasibleRoute);
         }
         stats.waves += 1;
@@ -403,6 +424,8 @@ fn solve(
         let mut next_wave = std::mem::take(&mut spill);
         next_wave.sort_by(|a, b2| a.delay.total_cmp(&b2.delay));
         for cand in next_wave {
+            stats.budget_charges += 1;
+            stats.promoted += 1;
             meter.charge_expand()?;
             let extra = cand.borrowed + b;
             if !prune.try_admit(

@@ -62,6 +62,7 @@ mod rbp;
 pub mod reference;
 mod result;
 mod stats;
+pub mod telemetry;
 
 pub use budget::{SearchBudget, SearchStage};
 pub use error::RouteError;
@@ -71,6 +72,7 @@ pub use latch::{LatchSolution, LatchSpec};
 pub use rbp::{RbpSpec, RbpVariant, TieBreak, WaveTrace};
 pub use result::{FastPathSolution, GalsSolution, RbpSolution, RoutedPath};
 pub use stats::{SearchStats, TouchedRegion};
+pub use telemetry::{MetricsRecorder, Telemetry, TelemetryHandle, TraceWriter};
 
 #[cfg(test)]
 mod send_audit {
@@ -99,5 +101,9 @@ mod send_audit {
         assert_send::<SearchBudget>();
         assert_sync::<SearchBudget>();
         assert_send::<failpoint::ArmedSet>();
+        assert_send::<TelemetryHandle<'static>>();
+        assert_sync::<TelemetryHandle<'static>>();
+        assert_send::<MetricsRecorder>();
+        assert_sync::<MetricsRecorder>();
     }
 }

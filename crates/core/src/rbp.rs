@@ -31,6 +31,7 @@ use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
 use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
 use crate::failpoint::{self, FailAction};
+use crate::telemetry::TelemetryHandle;
 use crate::{RbpSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::Time;
@@ -103,6 +104,7 @@ pub struct RbpSpec<'a> {
     tie_break: TieBreak,
     wire_bound: bool,
     budget: SearchBudget,
+    telemetry: TelemetryHandle<'a>,
 }
 
 impl<'a> RbpSpec<'a> {
@@ -122,6 +124,7 @@ impl<'a> RbpSpec<'a> {
             tie_break: TieBreak::default(),
             wire_bound: true,
             budget: SearchBudget::unlimited(),
+            telemetry: TelemetryHandle::none(),
         }
     }
 
@@ -171,6 +174,13 @@ impl<'a> RbpSpec<'a> {
         self
     }
 
+    /// Attaches a telemetry sink (default: none; see
+    /// [`telemetry`](crate::telemetry)).
+    pub fn telemetry(mut self, t: TelemetryHandle<'a>) -> Self {
+        self.telemetry = t;
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Errors
@@ -179,18 +189,32 @@ impl<'a> RbpSpec<'a> {
     /// disconnected, or no register spacing can meet the period at this
     /// grid granularity (cf. the empty cells of Table II).
     pub fn solve(&self) -> Result<RbpSolution, RouteError> {
-        self.run(None).map(|(sol, _)| sol)
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
+        let out = self.run(None, &mut stats).map(|(sol, _)| sol);
+        self.telemetry
+            .flush_search("rbp", &stats, started.elapsed(), out.is_ok());
+        out
     }
 
     /// Runs the search and additionally records the register wave rings
     /// (Fig. 6).
     pub fn solve_traced(&self) -> Result<(RbpSolution, WaveTrace), RouteError> {
+        let started = std::time::Instant::now();
+        let mut stats = SearchStats::new();
         let mut trace = WaveTrace::default();
-        let sol = self.run(Some(&mut trace))?;
+        let out = self.run(Some(&mut trace), &mut stats);
+        self.telemetry
+            .flush_search("rbp", &stats, started.elapsed(), out.is_ok());
+        let sol = out?;
         Ok((sol.0, trace))
     }
 
-    fn run(&self, mut trace: Option<&mut WaveTrace>) -> Result<(RbpSolution, ()), RouteError> {
+    fn run(
+        &self,
+        mut trace: Option<&mut WaveTrace>,
+        stats: &mut SearchStats,
+    ) -> Result<(RbpSolution, ()), RouteError> {
         let t_phi = self.period.ok_or(RouteError::InvalidPeriod)?;
         if t_phi.ps() <= 0.0 || !t_phi.is_finite() {
             return Err(RouteError::InvalidPeriod);
@@ -210,7 +234,6 @@ impl<'a> RbpSpec<'a> {
         let graph = ctx.graph;
         let n = graph.node_count();
         let mut meter = BudgetMeter::new(self.budget, SearchStage::Rbp);
-        let mut stats = SearchStats::new();
         let mut arena = Arena::new();
         let mut prune = PruneTable::new(n);
         // A(v): a register has been inserted at v in some candidate
@@ -242,6 +265,8 @@ impl<'a> RbpSpec<'a> {
                     Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
                     None => {}
                 }
+                stats.budget_charges += 1;
+                stats.arena_steps = arena.len() as u64;
                 meter.charge_pop(arena.len())?;
                 stats.configs += 1;
                 let extra = prune_extra(slack_mode, cand.sink_stage);
@@ -262,8 +287,9 @@ impl<'a> RbpSpec<'a> {
                         };
                         match self.tie_break {
                             TieBreak::FirstFound => {
+                                stats.arena_steps = arena.len() as u64;
                                 return Ok((
-                                    self.build(&ctx, &arena, cand.trail, t_phi, stats, total,
+                                    self.build(&ctx, &arena, cand.trail, t_phi, *stats, total,
                                                sink_stage),
                                     (),
                                 ));
@@ -282,6 +308,7 @@ impl<'a> RbpSpec<'a> {
 
                 // Step 5: wire expansion with admissible bound.
                 for v in graph.neighbors(cand.node) {
+                    stats.budget_charges += 1;
                     meter.charge_expand()?;
                     let (re, ce) = ctx.edge(cand.node, v);
                     let cap = cand.cap + ce;
@@ -312,6 +339,7 @@ impl<'a> RbpSpec<'a> {
                 // Step 7: buffer insertion (`d' ≤ T_φ − K(r)` bound).
                 if internal && graph.is_insertable(cand.node) {
                     for b in &ctx.buffers {
+                        stats.budget_charges += 1;
                         meter.charge_expand()?;
                         let cap = b.cap;
                         let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
@@ -384,8 +412,9 @@ impl<'a> RbpSpec<'a> {
             // Current wave exhausted.
             if let Some((_, trail, source_stage, sink_stage)) = best.take() {
                 let total = source_stage;
+                stats.arena_steps = arena.len() as u64;
                 return Ok((
-                    self.build(&ctx, &arena, trail, t_phi, stats, total, sink_stage),
+                    self.build(&ctx, &arena, trail, t_phi, *stats, total, sink_stage),
                     (),
                 ));
             }
@@ -411,6 +440,8 @@ impl<'a> RbpSpec<'a> {
             stats.waves += 1;
             prune.advance_wave();
             for cand in next_wave {
+                stats.budget_charges += 1;
+                stats.promoted += 1;
                 meter.charge_expand()?;
                 let extra = prune_extra(slack_mode, cand.sink_stage);
                 prune.try_admit(

@@ -28,13 +28,17 @@ pub struct RoutedPath {
 impl RoutedPath {
     /// Assembles a routed path from raw search output.
     ///
+    /// A single-point path is the degenerate zero-length route (source
+    /// and sink share a grid node); it carries one terminal label and no
+    /// inserted elements.
+    ///
     /// # Panics
     ///
     /// Panics if `points` and `labels` differ in length, the path is
-    /// shorter than 2 points, or a terminal label is missing.
+    /// empty, or a terminal label is missing.
     pub fn new(points: Vec<Point>, labels: Vec<Option<GateId>>, lib: &GateLibrary) -> RoutedPath {
         assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
-        assert!(points.len() >= 2, "a routed path needs at least two points");
+        assert!(!points.is_empty(), "a routed path needs at least one point");
         assert!(
             labels[0].is_some() && labels[labels.len() - 1].is_some(),
             "terminal gates must be labelled"
@@ -42,12 +46,14 @@ impl RoutedPath {
         let mut buffer_count = 0;
         let mut register_count = 0;
         let mut fifo_count = 0;
-        for &label in &labels[1..labels.len() - 1] {
-            if let Some(id) = label {
-                match lib.gate(id).kind() {
-                    GateKind::Buffer => buffer_count += 1,
-                    GateKind::Register | GateKind::Latch => register_count += 1,
-                    GateKind::McFifo => fifo_count += 1,
+        if labels.len() >= 2 {
+            for &label in &labels[1..labels.len() - 1] {
+                if let Some(id) = label {
+                    match lib.gate(id).kind() {
+                        GateKind::Buffer => buffer_count += 1,
+                        GateKind::Register | GateKind::Latch => register_count += 1,
+                        GateKind::McFifo => fifo_count += 1,
+                    }
                 }
             }
         }
@@ -402,6 +408,19 @@ mod tests {
         assert_eq!(path.register_separations(&lib), vec![4, 1]);
         // All elements at 0, 2, 4, 5 ⇒ separations 2, 2, 1.
         assert_eq!(path.element_separations(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn single_point_route_is_degenerate_but_valid() {
+        let lib = GateLibrary::paper_library();
+        let path = RoutedPath::new(vec![p(3, 3)], vec![Some(lib.register())], &lib);
+        assert_eq!(path.edge_count(), 0);
+        assert_eq!(path.source(), p(3, 3));
+        assert_eq!(path.sink(), p(3, 3));
+        assert_eq!(path.buffer_count(), 0);
+        assert_eq!(path.register_count(), 0);
+        assert_eq!(path.fifo_count(), 0);
+        assert_eq!(path.gates().count(), 1);
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub struct SearchStats {
     pub waves: u32,
     /// Candidates skipped as stale when popped (already dominated).
     pub stale_skipped: u64,
+    /// Candidates carried across a wave-front advance (register/FIFO
+    /// generations promoted out of `Q*` or the spill list).
+    pub promoted: u64,
+    /// Arena steps (partial-route records) allocated by the search.
+    pub arena_steps: u64,
+    /// Budget-meter charges (pops + expansion steps) — the cooperative
+    /// preemption points the search passed through.
+    pub budget_charges: u64,
     /// Bounding box of the nodes the search examined, when tracked.
     /// `None` for searches that read unbounded grid state (coarsened
     /// retries, the unbuffered fallback).
@@ -89,6 +97,11 @@ impl SearchStats {
     /// Creates zeroed statistics.
     pub fn new() -> SearchStats {
         SearchStats::default()
+    }
+
+    /// Arena memory in bytes: steps × the fixed per-step record size.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_steps * crate::engine::step_size_bytes() as u64
     }
 
     /// Records a push and keeps the running queue-size maximum.
@@ -105,8 +118,16 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "configs={} maxQ={} pushed={} pruned={} bound-rejected={} waves={}",
-            self.configs, self.max_queue, self.pushed, self.pruned, self.bound_rejected, self.waves
+            "configs={} maxQ={} pushed={} pruned={} bound-rejected={} waves={} promoted={} arena={} charges={}",
+            self.configs,
+            self.max_queue,
+            self.pushed,
+            self.pruned,
+            self.bound_rejected,
+            self.waves,
+            self.promoted,
+            self.arena_steps,
+            self.budget_charges
         )
     }
 }

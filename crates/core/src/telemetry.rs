@@ -1,0 +1,870 @@
+//! Structured search telemetry: counters, gauges, spans and events.
+//!
+//! Production routing flows are tuned off per-net counters — pops,
+//! prunes, arena growth, phase timings — so every search and the
+//! multi-net planner report what they did through a [`Telemetry`] sink.
+//! The design splits the API along a determinism boundary:
+//!
+//! * **Counters and gauges** are pure functions of the search inputs
+//!   (pops, pushes, prunes, promotions, arena bytes, budget charges).
+//!   They are replayed from per-net shards in commit order, so an
+//!   aggregated [`MetricsRecorder`] produces **byte-identical JSON for
+//!   every `--jobs` value** — asserted by the CLI end-to-end tests.
+//! * **Spans and events** carry wall-clock time and scheduling detail
+//!   (rounds, conflicts, re-routes). They are trace-only: useful for
+//!   reading one run, never included in the deterministic metrics JSON.
+//!
+//! The default sink is nothing at all: specs hold a
+//! [`TelemetryHandle`], a `Copy` option-of-reference whose methods
+//! compile to a branch on `None` — zero cost unless a sink is attached.
+//!
+//! Two concrete sinks ship here: [`MetricsRecorder`] (in-memory
+//! aggregation + ordered op log for shard replay) and [`TraceWriter`]
+//! (JSONL event stream). [`Tee`] fans one instrumentation stream out to
+//! both.
+
+use crate::stats::SearchStats;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A telemetry field value (borrowed; sinks serialize immediately).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned integer (counts, sizes).
+    U64(u64),
+    /// Floating point (delays, latencies, picoseconds).
+    F64(f64),
+    /// Short borrowed text (stage names, net names, outcomes).
+    Str(&'a str),
+}
+
+/// A telemetry sink. All methods default to no-ops so a sink only
+/// implements what it consumes; `Sync` because one sink may be shared by
+/// planner worker threads.
+pub trait Telemetry: Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, _name: &str, _delta: u64) {}
+    /// Raises the named gauge to `value` if larger (max-merge, so shard
+    /// replay order cannot change the result).
+    fn gauge_max(&self, _name: &str, _value: u64) {}
+    /// Records a completed span of `nanos` wall-clock nanoseconds.
+    /// Trace-only: never part of the deterministic metrics surface.
+    fn span_ns(&self, _name: &str, _nanos: u64) {}
+    /// Records a structured event. Trace-only, like spans.
+    fn event(&self, _name: &str, _fields: &[(&str, Value<'_>)]) {}
+}
+
+/// Forward through shared references so borrowed sinks compose
+/// (e.g. `Tee(&recorder, &trace)`).
+impl<T: Telemetry + ?Sized> Telemetry for &T {
+    fn counter(&self, name: &str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+    fn gauge_max(&self, name: &str, value: u64) {
+        (**self).gauge_max(name, value);
+    }
+    fn span_ns(&self, name: &str, nanos: u64) {
+        (**self).span_ns(name, nanos);
+    }
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        (**self).event(name, fields);
+    }
+}
+
+/// Forward through `Arc` so sinks can be shared across threads and
+/// composed (e.g. `Tee<Arc<dyn …>, Arc<dyn …>>`).
+impl<T: Telemetry + Send + ?Sized> Telemetry for Arc<T> {
+    fn counter(&self, name: &str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+    fn gauge_max(&self, name: &str, value: u64) {
+        (**self).gauge_max(name, value);
+    }
+    fn span_ns(&self, name: &str, nanos: u64) {
+        (**self).span_ns(name, nanos);
+    }
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        (**self).event(name, fields);
+    }
+}
+
+/// The no-op sink (what an unattached handle behaves like).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Telemetry for Noop {}
+
+/// A `Copy` handle the specs carry: either nothing (the default — every
+/// call is a single untaken branch) or a borrowed sink.
+#[derive(Clone, Copy, Default)]
+pub struct TelemetryHandle<'a> {
+    sink: Option<&'a dyn Telemetry>,
+}
+
+impl fmt::Debug for TelemetryHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.sink.is_some() {
+            "TelemetryHandle(attached)"
+        } else {
+            "TelemetryHandle(none)"
+        })
+    }
+}
+
+impl<'a> TelemetryHandle<'a> {
+    /// The detached handle (all operations are no-ops).
+    pub const fn none() -> TelemetryHandle<'a> {
+        TelemetryHandle { sink: None }
+    }
+
+    /// A handle forwarding to `sink`.
+    pub fn new(sink: &'a dyn Telemetry) -> TelemetryHandle<'a> {
+        TelemetryHandle { sink: Some(sink) }
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_active(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// See [`Telemetry::counter`].
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(s) = self.sink {
+            s.counter(name, delta);
+        }
+    }
+
+    /// See [`Telemetry::gauge_max`].
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if let Some(s) = self.sink {
+            s.gauge_max(name, value);
+        }
+    }
+
+    /// See [`Telemetry::span_ns`].
+    #[inline]
+    pub fn span_ns(&self, name: &str, nanos: u64) {
+        if let Some(s) = self.sink {
+            s.span_ns(name, nanos);
+        }
+    }
+
+    /// See [`Telemetry::event`].
+    #[inline]
+    pub fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        if let Some(s) = self.sink {
+            s.event(name, fields);
+        }
+    }
+
+    /// Flushes one search's statistics: deterministic counters/gauges
+    /// keyed `search.<stage>.*`, plus a trace-only span and completion
+    /// event. Called once per `solve`, on success and on error alike, so
+    /// budget-exhausted and infeasible searches are visible too.
+    pub(crate) fn flush_search(
+        &self,
+        stage: &str,
+        stats: &SearchStats,
+        elapsed: Duration,
+        ok: bool,
+    ) {
+        let Some(sink) = self.sink else { return };
+        let emit = |suffix: &str, v: u64| {
+            if v > 0 {
+                sink.counter(&format!("search.{stage}.{suffix}"), v);
+            }
+        };
+        emit("solves", 1);
+        emit("errors", u64::from(!ok));
+        emit("pops", stats.configs);
+        emit("pushed", stats.pushed);
+        emit("pruned", stats.pruned);
+        emit("bound_rejected", stats.bound_rejected);
+        emit("stale_skipped", stats.stale_skipped);
+        emit("waves", u64::from(stats.waves));
+        emit("promoted", stats.promoted);
+        emit("arena_steps", stats.arena_steps);
+        emit("arena_bytes", stats.arena_bytes());
+        emit("budget_charges", stats.budget_charges);
+        sink.gauge_max(&format!("search.{stage}.max_queue"), stats.max_queue as u64);
+        let span = format!("search.{stage}.solve_ns");
+        sink.span_ns(&span, elapsed.as_nanos() as u64);
+        sink.event(
+            &format!("search.{stage}.done"),
+            &[
+                ("ok", Value::U64(u64::from(ok))),
+                ("pops", Value::U64(stats.configs)),
+                ("waves", Value::U64(u64::from(stats.waves))),
+                ("arena_steps", Value::U64(stats.arena_steps)),
+            ],
+        );
+    }
+}
+
+/// One recorded operation, kept in call order so a per-net shard can be
+/// replayed into an aggregate sink at commit time.
+#[derive(Debug, Clone)]
+enum Op {
+    Counter(String, u64),
+    Gauge(String, u64),
+    Span(String, u64),
+    Event(String, Vec<(String, OwnedValue)>),
+}
+
+#[derive(Debug, Clone)]
+enum OwnedValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl OwnedValue {
+    fn of(v: &Value<'_>) -> OwnedValue {
+        match *v {
+            Value::U64(x) => OwnedValue::U64(x),
+            Value::F64(x) => OwnedValue::F64(x),
+            Value::Str(s) => OwnedValue::Str(s.to_owned()),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            OwnedValue::U64(x) => x.to_string(),
+            OwnedValue::F64(x) if x.is_finite() => format!("{x}"),
+            OwnedValue::F64(_) => "null".to_owned(),
+            OwnedValue::Str(s) => json_string(s),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    log: Vec<Op>,
+}
+
+/// In-memory aggregating sink.
+///
+/// Aggregates counters (sum) and gauges (max) into sorted maps, and
+/// additionally keeps every operation — spans and events included — in
+/// call order so the whole shard can be replayed with [`replay_into`]
+/// (`MetricsRecorder::replay_into`). The planner gives each net its own
+/// shard and replays committed shards in net order, which is what makes
+/// the merged metrics independent of worker count and scheduling.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
+        // Telemetry must never take the search down: a poisoned lock
+        // (a panic mid-record) keeps serving the surviving data.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replays every recorded operation, in original call order, into
+    /// another sink.
+    pub fn replay_into(&self, sink: &dyn Telemetry) {
+        let inner = self.lock();
+        for op in &inner.log {
+            match op {
+                Op::Counter(name, delta) => sink.counter(name, *delta),
+                Op::Gauge(name, value) => sink.gauge_max(name, *value),
+                Op::Span(name, ns) => sink.span_ns(name, *ns),
+                Op::Event(name, fields) => {
+                    let borrowed: Vec<(&str, Value<'_>)> = fields
+                        .iter()
+                        .map(|(k, v)| {
+                            let val = match v {
+                                OwnedValue::U64(x) => Value::U64(*x),
+                                OwnedValue::F64(x) => Value::F64(*x),
+                                OwnedValue::Str(s) => Value::Str(s.as_str()),
+                            };
+                            (k.as_str(), val)
+                        })
+                        .collect();
+                    sink.event(name, &borrowed);
+                }
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 if never touched).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.lock().gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Deterministic JSON document of counters and gauges.
+    ///
+    /// Only the deterministic surface is serialized — spans and events
+    /// never appear here — and keys are emitted in sorted order, so for
+    /// a fixed scenario this output is byte-identical across runs and
+    /// `--jobs` values.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &inner.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&json_string(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &inner.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&json_string(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Aligned `name  value` rows (counters then gauges, sorted), for
+    /// the report summary table. Deterministic for the same reason as
+    /// [`to_json`](MetricsRecorder::to_json).
+    pub fn summary_rows(&self) -> Vec<String> {
+        let inner = self.lock();
+        let width = inner
+            .counters
+            .keys()
+            .chain(inner.gauges.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        inner
+            .counters
+            .iter()
+            .chain(inner.gauges.iter())
+            .map(|(k, v)| format!("{k:<width$}  {v}"))
+            .collect()
+    }
+}
+
+impl Telemetry for MetricsRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        inner.log.push(Op::Counter(name.to_owned(), delta));
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        let slot = inner.gauges.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
+        inner.log.push(Op::Gauge(name.to_owned(), value));
+    }
+
+    fn span_ns(&self, name: &str, nanos: u64) {
+        self.lock().log.push(Op::Span(name.to_owned(), nanos));
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        let owned = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), OwnedValue::of(v)))
+            .collect();
+        self.lock().log.push(Op::Event(name.to_owned(), owned));
+    }
+}
+
+/// JSONL event-trace sink: every operation becomes one JSON object per
+/// line, written immediately. Write errors are swallowed — telemetry
+/// must never fail a route.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> TraceWriter<W> {
+    /// Wraps a writer (a `File`, a `Vec<u8>`, …).
+    pub fn new(out: W) -> TraceWriter<W> {
+        TraceWriter {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self
+            .out
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+        w
+    }
+
+    fn line(&self, text: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{text}");
+    }
+}
+
+impl<W: Write + Send> Telemetry for TraceWriter<W> {
+    fn counter(&self, name: &str, delta: u64) {
+        self.line(&format!(
+            "{{\"kind\":\"counter\",\"name\":{},\"delta\":{delta}}}",
+            json_string(name)
+        ));
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.line(&format!(
+            "{{\"kind\":\"gauge\",\"name\":{},\"max\":{value}}}",
+            json_string(name)
+        ));
+    }
+
+    fn span_ns(&self, name: &str, nanos: u64) {
+        self.line(&format!(
+            "{{\"kind\":\"span\",\"name\":{},\"ns\":{nanos}}}",
+            json_string(name)
+        ));
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        let mut body = String::new();
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_string(k));
+            body.push(':');
+            body.push_str(&OwnedValue::of(v).to_json());
+        }
+        self.line(&format!(
+            "{{\"kind\":\"event\",\"name\":{},\"fields\":{{{body}}}}}",
+            json_string(name)
+        ));
+    }
+}
+
+/// Fans every operation out to two sinks (metrics + trace, typically).
+#[derive(Debug)]
+pub struct Tee<A: Telemetry, B: Telemetry>(pub A, pub B);
+
+impl<A: Telemetry, B: Telemetry> Telemetry for Tee<A, B> {
+    fn counter(&self, name: &str, delta: u64) {
+        self.0.counter(name, delta);
+        self.1.counter(name, delta);
+    }
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.0.gauge_max(name, value);
+        self.1.gauge_max(name, value);
+    }
+    fn span_ns(&self, name: &str, nanos: u64) {
+        self.0.span_ns(name, nanos);
+        self.1.span_ns(name, nanos);
+    }
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        self.0.event(name, fields);
+        self.1.event(name, fields);
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validates that `text` is one well-formed JSON value (object, array,
+/// string, number, boolean or null) with nothing but whitespace after
+/// it. A minimal recursive-descent checker for the test-suite — this
+/// workspace ships no JSON parser dependency.
+///
+/// # Errors
+///
+/// Returns a byte offset + message on the first syntax error.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates JSONL: every non-empty line must be a well-formed JSON
+/// value.
+///
+/// # Errors
+///
+/// Returns the first offending line (1-based) and its error.
+pub fn validate_jsonl(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match c {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos),
+        b't' => parse_literal(b, pos, "true"),
+        b'f' => parse_literal(b, pos, "false"),
+        b'n' => parse_literal(b, pos, "null"),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        c => Err(format!("unexpected byte {:?} at {pos}", c as char)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(&b'e' | &b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(&b'+' | &b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let h = TelemetryHandle::none();
+        assert!(!h.is_active());
+        h.counter("x", 1);
+        h.gauge_max("x", 1);
+        h.span_ns("x", 1);
+        h.event("x", &[("k", Value::U64(1))]);
+    }
+
+    #[test]
+    fn recorder_aggregates_counters_and_gauges() {
+        let rec = MetricsRecorder::new();
+        rec.counter("a", 2);
+        rec.counter("a", 3);
+        rec.counter("b", 1);
+        rec.gauge_max("q", 7);
+        rec.gauge_max("q", 4); // lower: ignored
+        assert_eq!(rec.counter_value("a"), 5);
+        assert_eq!(rec.counter_value("b"), 1);
+        assert_eq!(rec.counter_value("missing"), 0);
+        assert_eq!(rec.gauge_value("q"), 7);
+    }
+
+    #[test]
+    fn replay_reproduces_aggregates_and_order() {
+        let shard = MetricsRecorder::new();
+        shard.counter("a", 2);
+        shard.gauge_max("g", 9);
+        shard.span_ns("s", 123);
+        shard.event("e", &[("net", Value::Str("n0")), ("x", Value::F64(1.5))]);
+        shard.counter("a", 1);
+
+        let total = MetricsRecorder::new();
+        shard.replay_into(&total);
+        assert_eq!(total.counter_value("a"), 3);
+        assert_eq!(total.gauge_value("g"), 9);
+
+        // Replay into a trace preserves call order.
+        let trace = TraceWriter::new(Vec::new());
+        shard.replay_into(&trace);
+        let text = String::from_utf8(trace.into_inner()).unwrap();
+        let kinds: Vec<&str> = text
+            .lines()
+            .map(|l| l.split('"').nth(3).unwrap())
+            .collect();
+        assert_eq!(kinds, ["counter", "gauge", "span", "event", "counter"]);
+        validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn json_export_is_sorted_and_valid() {
+        let rec = MetricsRecorder::new();
+        rec.counter("z.last", 1);
+        rec.counter("a.first", 2);
+        rec.gauge_max("m.mid", 3);
+        rec.span_ns("never.in.json", 1); // spans excluded
+        let json = rec.to_json();
+        validate_json(&json).unwrap();
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "keys must be sorted:\n{json}");
+        assert!(!json.contains("never.in.json"));
+    }
+
+    #[test]
+    fn json_export_identical_regardless_of_call_order() {
+        let forward = MetricsRecorder::new();
+        forward.counter("a", 1);
+        forward.counter("b", 2);
+        forward.gauge_max("g", 5);
+        forward.gauge_max("g", 9);
+        let backward = MetricsRecorder::new();
+        backward.gauge_max("g", 9);
+        backward.gauge_max("g", 5);
+        backward.counter("b", 2);
+        backward.counter("a", 1);
+        assert_eq!(forward.to_json(), backward.to_json());
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_json() {
+        let json = MetricsRecorder::new().to_json();
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn trace_lines_are_valid_jsonl_with_escaping() {
+        let trace = TraceWriter::new(Vec::new());
+        trace.counter("weird \"name\"\n", 1);
+        trace.event(
+            "e",
+            &[
+                ("s", Value::Str("a\\b\t")),
+                ("nan", Value::F64(f64::NAN)),
+                ("f", Value::F64(2.25)),
+            ],
+        );
+        let text = String::from_utf8(trace.into_inner()).unwrap();
+        validate_jsonl(&text).unwrap();
+        assert!(text.contains("null"), "NaN must serialize as null: {text}");
+    }
+
+    #[test]
+    fn tee_duplicates_operations() {
+        let a = MetricsRecorder::new();
+        let b = Arc::new(MetricsRecorder::new());
+        let tee = Tee(&a, b.clone());
+        tee.counter("x", 4);
+        tee.gauge_max("g", 2);
+        assert_eq!(a.counter_value("x"), 4);
+        assert_eq!(b.counter_value("x"), 4);
+        assert_eq!(a.gauge_value("g"), 2);
+        assert_eq!(b.gauge_value("g"), 2);
+    }
+
+    #[test]
+    fn summary_rows_are_aligned_and_sorted() {
+        let rec = MetricsRecorder::new();
+        rec.counter("bbb.long.name", 10);
+        rec.counter("a", 2);
+        rec.gauge_max("zz.gauge", 3);
+        let rows = rec.summary_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].starts_with("a "), "{rows:?}");
+        assert!(rows[0].ends_with(" 2"), "{rows:?}");
+        assert!(rows[2].starts_with("zz.gauge"), "{rows:?}");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "{\"a\": [1, 2.5, \"x\", true, null], \"b\": {}}",
+            "  {\"nested\": {\"deep\": [[[]]]}}  ",
+            "\"\\u00e9\\n\"",
+        ] {
+            assert!(validate_json(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "", "{", "}", "{\"a\":}", "{\"a\":1,}", "[1 2]", "tru", "1.",
+            "01x", "\"unterminated", "{\"a\":1} extra", "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+        assert!(validate_jsonl("{}\n[1]\n\n\"x\"\n").is_ok());
+        assert!(validate_jsonl("{}\nnot json\n").is_err());
+    }
+}

@@ -97,8 +97,9 @@
 
 use clockroute_core::{
     failpoint::{self, FailAction},
-    FastPathSpec, GalsSpec, RbpSpec, RouteError, RoutedPath, SearchBudget, SearchStage,
-    TouchedRegion,
+    telemetry::Value,
+    FastPathSpec, GalsSpec, MetricsRecorder, RbpSpec, RouteError, RoutedPath, SearchBudget,
+    SearchStage, Telemetry, TelemetryHandle, TouchedRegion,
 };
 use clockroute_elmore::{GateId, GateLibrary, Technology};
 use clockroute_geom::units::{Length, Time};
@@ -107,6 +108,7 @@ use clockroute_grid::{shortest_path, GridGraph};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Clocking requirement of a net.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -301,6 +303,33 @@ impl Plan {
     }
 }
 
+/// A telemetry sink shared between the planner and its worker threads.
+///
+/// Wraps the trait object so [`Planner`] stays `Debug + Clone`. The
+/// planner writes each net's search counters into a private per-net
+/// [`MetricsRecorder`] shard and replays committed shards into this sink
+/// in net order, so counter/gauge aggregates are independent of the job
+/// count; trace-only spans and events flow through unchanged.
+#[derive(Clone)]
+pub struct SharedTelemetry(Arc<dyn Telemetry + Send + Sync>);
+
+impl SharedTelemetry {
+    /// Wraps a sink for [`Planner::telemetry`].
+    pub fn new(sink: Arc<dyn Telemetry + Send + Sync>) -> SharedTelemetry {
+        SharedTelemetry(sink)
+    }
+
+    fn sink(&self) -> &dyn Telemetry {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for SharedTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SharedTelemetry(..)")
+    }
+}
+
 /// Multi-net planner with resource reservation; sequential by default,
 /// with an optional deterministic parallel mode ([`Planner::jobs`]).
 #[derive(Debug, Clone)]
@@ -312,6 +341,7 @@ pub struct Planner {
     budget: SearchBudget,
     degrade: bool,
     jobs: usize,
+    telemetry: Option<SharedTelemetry>,
 }
 
 /// A successful routing attempt, before result bookkeeping.
@@ -340,6 +370,7 @@ impl Planner {
             budget: SearchBudget::unlimited(),
             degrade: true,
             jobs: 1,
+            telemetry: None,
         }
     }
 
@@ -374,6 +405,16 @@ impl Planner {
         self
     }
 
+    /// Attaches a telemetry sink. Search and planner **counters/gauges**
+    /// reaching the sink are identical for every [`Planner::jobs`] value
+    /// (per-net shards replayed in net order at commit); **spans and
+    /// events** additionally expose scheduling detail — rounds, conflicts,
+    /// wall-times — and are trace-only.
+    pub fn telemetry(mut self, sink: SharedTelemetry) -> Planner {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// The current grid state (reflecting reservations made so far).
     pub fn graph(&self) -> &GridGraph {
         &self.graph
@@ -398,8 +439,8 @@ impl Planner {
     fn plan_sequential(mut self, nets: &[NetSpec]) -> Plan {
         let mut results = Vec::with_capacity(nets.len());
         for net in nets {
-            let outcome = self.plan_net(net);
-            results.push(self.commit(net, outcome));
+            let (outcome, shard) = self.plan_net(net);
+            results.push(self.commit(net, outcome, shard));
         }
         Plan { results }
     }
@@ -430,13 +471,19 @@ impl Planner {
             // grid a sequential pass would have shown each later net.
             let mut delta: Vec<Point> = Vec::new();
             let mut accepted = 0;
-            for (outcome, &i) in outcomes.into_iter().zip(round) {
+            for ((outcome, shard), &i) in outcomes.into_iter().zip(round) {
                 if !delta.is_empty() && !unaffected(&outcome, &delta) {
                     // This net's search may have read state the committed
                     // reservations changed; it and everything after it
                     // wait for the next round. Later nets cannot leapfrog:
                     // they would also need validating against this net's
                     // as-yet-unknown reservation.
+                    if let Some(t) = &self.telemetry {
+                        t.sink().event(
+                            "plan.conflict",
+                            &[("net", Value::Str(&nets[i].name))],
+                        );
+                    }
                     break;
                 }
                 if self.reserve_routes {
@@ -444,10 +491,19 @@ impl Planner {
                         delta.extend_from_slice(routed.path.points());
                     }
                 }
-                slots[i] = Some(self.commit(&nets[i], outcome));
+                slots[i] = Some(self.commit(&nets[i], outcome, shard));
                 accepted += 1;
             }
             debug_assert!(accepted > 0, "the first pending net always commits");
+            if let Some(t) = &self.telemetry {
+                t.sink().event(
+                    "plan.round",
+                    &[
+                        ("speculated", Value::U64(round.len() as u64)),
+                        ("committed", Value::U64(accepted as u64)),
+                    ],
+                );
+            }
             pending.drain(..accepted);
         }
         Plan {
@@ -468,11 +524,11 @@ impl Planner {
         nets: &[NetSpec],
         round: &[usize],
         inherited: &failpoint::ArmedSet,
-    ) -> Vec<Outcome> {
+    ) -> Vec<(Outcome, MetricsRecorder)> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let workers = self.jobs.min(round.len());
         let cursor = AtomicUsize::new(0);
-        let collected: Vec<Vec<(usize, Outcome)>> = std::thread::scope(|s| {
+        let collected: Vec<Vec<(usize, (Outcome, MetricsRecorder))>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -498,7 +554,8 @@ impl Planner {
                 .map(|h| h.join().expect("planner worker panicked"))
                 .collect()
         });
-        let mut outcomes: Vec<Option<Outcome>> = round.iter().map(|_| None).collect();
+        let mut outcomes: Vec<Option<(Outcome, MetricsRecorder)>> =
+            round.iter().map(|_| None).collect();
         for (k, outcome) in collected.into_iter().flatten() {
             outcomes[k] = Some(outcome);
         }
@@ -510,8 +567,46 @@ impl Planner {
 
     /// Applies one net's outcome to the grid (reservation) and turns it
     /// into the reported [`NetResult`]. Both planning modes funnel through
-    /// here, which is what makes their outputs directly comparable.
-    fn commit(&mut self, net: &NetSpec, outcome: Outcome) -> NetResult {
+    /// here, which is what makes their outputs directly comparable — and
+    /// why replaying the per-net telemetry shard here makes the aggregate
+    /// metrics independent of the job count: shards reach the sink in net
+    /// order no matter which worker produced them.
+    fn commit(&mut self, net: &NetSpec, outcome: Outcome, shard: MetricsRecorder) -> NetResult {
+        if let Some(t) = &self.telemetry {
+            shard.replay_into(t.sink());
+            let sink = t.sink();
+            match &outcome {
+                Ok((_, degradation)) => {
+                    sink.counter("plan.nets.routed", 1);
+                    match degradation {
+                        Degradation::None => {}
+                        Degradation::CoarseGrid => sink.counter("plan.nets.degraded.coarse", 1),
+                        Degradation::Unbuffered => {
+                            sink.counter("plan.nets.degraded.unbuffered", 1);
+                        }
+                    }
+                }
+                Err(_) => sink.counter("plan.nets.failed", 1),
+            }
+            sink.event(
+                "plan.net.committed",
+                &[
+                    ("net", Value::Str(&net.name)),
+                    ("ok", Value::U64(u64::from(outcome.is_ok()))),
+                    (
+                        "degradation",
+                        Value::Str(match &outcome {
+                            Ok((_, d)) => match d {
+                                Degradation::None => "none",
+                                Degradation::CoarseGrid => "coarse",
+                                Degradation::Unbuffered => "unbuffered",
+                            },
+                            Err(_) => "failed",
+                        }),
+                    ),
+                ],
+            );
+        }
         match outcome {
             Ok((routed, degradation)) => {
                 if self.reserve_routes {
@@ -539,30 +634,89 @@ impl Planner {
         }
     }
 
+    /// Routes one net into a fresh telemetry shard. The shard holds every
+    /// counter the net's searches emitted (across all ladder rungs); the
+    /// caller replays it into the aggregate sink only if this outcome
+    /// commits, so discarded speculative attempts leave no metrics behind.
+    fn plan_net(&self, net: &NetSpec) -> (Outcome, MetricsRecorder) {
+        let shard = MetricsRecorder::new();
+        let handle = TelemetryHandle::new(&shard);
+        let started = std::time::Instant::now();
+        let outcome = self.ladder(net, handle);
+        handle.span_ns("plan.net.solve_ns", started.elapsed().as_nanos() as u64);
+        (outcome, shard)
+    }
+
     /// Walks the degradation ladder for one net. On total failure the
     /// error of the *first* (optimal) attempt is returned — it carries
     /// the most useful diagnostics.
-    fn plan_net(&self, net: &NetSpec) -> Result<(Routed, Degradation), RouteError> {
-        let first_err = match self.attempt(&self.graph, net) {
+    fn ladder(&self, net: &NetSpec, telemetry: TelemetryHandle<'_>) -> Outcome {
+        // Zero-length nets (source == sink) need no routing at all: the
+        // route is the shared point and its footprint a degenerate rect,
+        // so in parallel mode the net takes part in the normal conflict
+        // check instead of being treated as always-conflicting.
+        if net.source == net.sink {
+            telemetry.counter("plan.nets.zero_length", 1);
+            return Ok((self.zero_length(net), Degradation::None));
+        }
+        let first_err = match self.attempt(&self.graph, net, telemetry) {
             Ok(r) => return Ok((r, Degradation::None)),
             Err(e) => e,
         };
         if !self.degrade || !retryable(&first_err) {
             return Err(first_err);
         }
-        if let Some(r) = self.coarse_retry(net) {
+        telemetry.event(
+            "plan.rung",
+            &[("net", Value::Str(&net.name)), ("rung", Value::Str("coarse"))],
+        );
+        if let Some(r) = self.coarse_retry(net, telemetry) {
             return Ok((r, Degradation::CoarseGrid));
         }
+        telemetry.event(
+            "plan.rung",
+            &[
+                ("net", Value::Str(&net.name)),
+                ("rung", Value::Str("unbuffered")),
+            ],
+        );
         if let Some(r) = self.unbuffered_fallback(net) {
             return Ok((r, Degradation::Unbuffered));
         }
         Err(first_err)
     }
 
+    /// The trivial route for a net whose terminals share a grid node: one
+    /// point, one terminal gate, zero wirelength. Latency is the launch
+    /// overhead of the net's clocking discipline alone.
+    fn zero_length(&self, net: &NetSpec) -> Routed {
+        let path = RoutedPath::new(
+            vec![net.source],
+            vec![Some(self.lib.register())],
+            &self.lib,
+        );
+        let (latency, cycles) = match net.kind {
+            NetKind::Combinational => (Time::ZERO, 1),
+            NetKind::Registered { period } => (period, 1),
+            NetKind::Gals { t_s, t_t } => (t_s + t_t, 2),
+        };
+        Routed {
+            path,
+            latency,
+            cycles,
+            touched: Some(TouchedRegion::of_point(net.source)),
+        }
+    }
+
     /// One routing attempt inside a panic boundary. A panicking search
     /// (a bug, or an armed failpoint) is converted into
     /// [`RouteError::SearchPanicked`] instead of unwinding the batch.
-    fn attempt(&self, graph: &GridGraph, net: &NetSpec) -> Result<Routed, RouteError> {
+    fn attempt(
+        &self,
+        graph: &GridGraph,
+        net: &NetSpec,
+        telemetry: TelemetryHandle<'_>,
+    ) -> Result<Routed, RouteError> {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             match failpoint::hit("plan::net") {
                 Some(FailAction::Panic) => panic!("failpoint plan::net: forced panic"),
@@ -576,18 +730,24 @@ impl Planner {
                 Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
                 None => {}
             }
-            self.route_net_on(graph, net)
+            self.route_net_on(graph, net, telemetry)
         }));
         outcome.unwrap_or_else(|payload| Err(RouteError::SearchPanicked(panic_message(&payload))))
     }
 
-    fn route_net_on(&self, graph: &GridGraph, net: &NetSpec) -> Result<Routed, RouteError> {
+    fn route_net_on(
+        &self,
+        graph: &GridGraph,
+        net: &NetSpec,
+        telemetry: TelemetryHandle<'_>,
+    ) -> Result<Routed, RouteError> {
         match net.kind {
             NetKind::Combinational => {
                 let sol = FastPathSpec::new(graph, &self.tech, &self.lib)
                     .source(net.source)
                     .sink(net.sink)
                     .budget(self.budget)
+                    .telemetry(telemetry)
                     .solve()?;
                 Ok(Routed {
                     touched: sol.stats().touched,
@@ -602,6 +762,7 @@ impl Planner {
                     .sink(net.sink)
                     .period(period)
                     .budget(self.budget)
+                    .telemetry(telemetry)
                     .solve()?;
                 Ok(Routed {
                     touched: sol.stats().touched,
@@ -616,6 +777,7 @@ impl Planner {
                     .sink(net.sink)
                     .periods(t_s, t_t)
                     .budget(self.budget)
+                    .telemetry(telemetry)
                     .solve()?;
                 Ok(Routed {
                     touched: sol.stats().touched,
@@ -631,7 +793,7 @@ impl Planner {
     /// expand the winning route back onto the fine grid. Returns `None`
     /// when the rung cannot apply (terminals collide after snapping, the
     /// connector stubs are blocked, or the coarse search fails too).
-    fn coarse_retry(&self, net: &NetSpec) -> Option<Routed> {
+    fn coarse_retry(&self, net: &NetSpec, telemetry: TelemetryHandle<'_>) -> Option<Routed> {
         let coarse = coarsen(&self.graph);
         let s_snap = snap(net.source);
         let t_snap = snap(net.sink);
@@ -644,7 +806,7 @@ impl Planner {
             sink: Point::new(t_snap.x / 2, t_snap.y / 2),
             kind: net.kind,
         };
-        let routed = self.attempt(&coarse, &coarse_net).ok()?;
+        let routed = self.attempt(&coarse, &coarse_net, telemetry).ok()?;
         let (points, labels) = expand_route(&self.graph, &routed.path, net.source, net.sink)?;
         let fine = RoutedPath::new(points, labels, &self.lib);
         Some(Routed {
@@ -1279,6 +1441,103 @@ mod tests {
         assert_send_sync::<Plan>();
         assert_send_sync::<NetResult>();
         assert_send_sync::<NetSpec>();
+        assert_send_sync::<SharedTelemetry>();
+    }
+
+    #[test]
+    fn zero_length_net_routes_trivially() {
+        let (g, tech, lib) = setup(12);
+        let nets = vec![
+            NetSpec::combinational("comb0", p(3, 3), p(3, 3)),
+            NetSpec::registered("reg0", p(5, 5), p(5, 5), Time::from_ps(400.0)),
+            NetSpec::gals(
+                "gals0",
+                p(7, 7),
+                p(7, 7),
+                Time::from_ps(300.0),
+                Time::from_ps(400.0),
+            ),
+        ];
+        let plan = Planner::new(g, tech, lib).plan(&nets);
+        assert_eq!(plan.routed().count(), 3);
+        for r in plan.results() {
+            assert_eq!(r.degradation, Degradation::None);
+            let path = r.path.as_ref().unwrap();
+            assert_eq!(path.points().len(), 1);
+            assert_eq!(r.wirelength, Some(Length::ZERO));
+        }
+        assert_eq!(plan.results()[0].latency, Some(Time::ZERO));
+        assert_eq!(plan.results()[0].cycles, Some(1));
+        assert_eq!(plan.results()[1].latency, Some(Time::from_ps(400.0)));
+        assert_eq!(plan.results()[2].latency, Some(Time::from_ps(700.0)));
+        assert_eq!(plan.results()[2].cycles, Some(2));
+    }
+
+    #[test]
+    fn zero_length_net_participates_in_parallel_commit() {
+        // A zero-length net carries a degenerate point footprint, so it
+        // commits through the normal conflict check (not the always-
+        // conflict path for untracked footprints) and the parallel plan
+        // stays bit-identical.
+        let (g, tech, lib) = setup(20);
+        let t = Time::from_ps(400.0);
+        let nets = vec![
+            NetSpec::registered("h0", p(0, 9), p(19, 9), t),
+            NetSpec::registered("z0", p(5, 15), p(5, 15), t),
+            NetSpec::registered("v0", p(9, 0), p(9, 19), t),
+            NetSpec::registered("z1", p(9, 10), p(9, 10), t),
+        ];
+        let run = |jobs: usize| {
+            Planner::new(g.clone(), tech, lib.clone())
+                .jobs(jobs)
+                .plan(&nets)
+        };
+        let sequential = run(1);
+        assert!(sequential.results()[1].is_routed());
+        assert!(sequential.results()[3].is_routed());
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn metrics_are_identical_across_job_counts() {
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let run = |jobs: usize| {
+            let recorder = Arc::new(MetricsRecorder::new());
+            let plan = Planner::new(g.clone(), tech, lib.clone())
+                .jobs(jobs)
+                .telemetry(SharedTelemetry::new(recorder.clone()))
+                .plan(&nets);
+            (plan, recorder.to_json())
+        };
+        let (plan1, json1) = run(1);
+        let (plan4, json4) = run(4);
+        assert_eq!(plan1, plan4);
+        assert_eq!(json1, json4, "metrics JSON must not depend on --jobs");
+        assert!(json1.contains("\"plan.nets.routed\""));
+        assert!(json1.contains("\"search.rbp.pops\""));
+        clockroute_core::telemetry::validate_json(&json1).expect("valid JSON");
+    }
+
+    #[test]
+    fn discarded_speculative_attempts_leave_no_metrics() {
+        // Sequential counters are the ground truth; with conflicts forcing
+        // re-routes at jobs=4, discarded shards must not inflate them.
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let count = |jobs: usize| {
+            let recorder = Arc::new(MetricsRecorder::new());
+            Planner::new(g.clone(), tech, lib.clone())
+                .jobs(jobs)
+                .telemetry(SharedTelemetry::new(recorder.clone()))
+                .plan(&nets);
+            (
+                recorder.counter_value("search.rbp.solves"),
+                recorder.counter_value("plan.nets.routed"),
+            )
+        };
+        assert_eq!(count(1), count(4));
     }
 
     proptest! {

@@ -7,4 +7,7 @@ set -eu
 cargo build --release
 cargo test --workspace -q
 cargo test --workspace --release -q
+# Differential fuzz suite against the exhaustive oracles (fixed seeds,
+# so a failure here reproduces exactly; see tests/differential.rs).
+cargo test --release -q --test differential
 cargo clippy --all-targets -- -D warnings

@@ -231,6 +231,211 @@ proptest! {
     }
 }
 
+impl Instance {
+    /// The instance's graph with one extra wiring blockage on the edge
+    /// selected by `sel` (wrapped into range, direction from the low bit).
+    fn graph_with_extra_edge_block(&self, sel: u64) -> (GridGraph, Point, Point) {
+        let x = (sel % u64::from(self.width)) as u32;
+        let y = ((sel >> 8) % u64::from(self.height)) as u32;
+        let a = Point::new(x, y);
+        let b = if sel & 1 == 0 && x + 1 < self.width {
+            Point::new(x + 1, y)
+        } else if y + 1 < self.height {
+            Point::new(x, y + 1)
+        } else {
+            Point::new(x.saturating_sub(1), y)
+        };
+        let mut blk = BlockageMap::new(self.width, self.height);
+        for &(bx, by) in &self.blocked {
+            let p = Point::new(bx, by);
+            if p != self.source() && p != self.sink() {
+                blk.block_node(p);
+            }
+        }
+        if a != b {
+            blk.block_edge(a, b);
+        }
+        let g = GridGraph::new(
+            blk,
+            Length::from_um(self.pitch_um),
+            Length::from_um(self.pitch_um),
+        );
+        (g, a, b)
+    }
+
+    /// The instance's graph with one extra node (gate-site) blockage.
+    fn graph_with_extra_node_block(&self, sel: u64) -> (GridGraph, Point) {
+        let x = (sel % u64::from(self.width)) as u32;
+        let y = ((sel >> 8) % u64::from(self.height)) as u32;
+        let p = Point::new(x, y);
+        let mut blk = BlockageMap::new(self.width, self.height);
+        for &(bx, by) in &self.blocked {
+            let q = Point::new(bx, by);
+            if q != self.source() && q != self.sink() {
+                blk.block_node(q);
+            }
+        }
+        if p != self.source() && p != self.sink() {
+            blk.block_node(p);
+        }
+        let g = GridGraph::new(
+            blk,
+            Length::from_um(self.pitch_um),
+            Length::from_um(self.pitch_um),
+        );
+        (g, p)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    // Metamorphic relations: perturb an instance in a direction with a
+    // known effect on the optimum and check the solver moves the right
+    // way. These need no oracle, so they scale past oracle-sized grids.
+
+    #[test]
+    fn blocking_an_edge_never_decreases_fastpath_delay(
+        inst in instance(),
+        sel in 0u64..u64::MAX,
+    ) {
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let base = FastPathSpec::new(&inst.graph(), &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+            .expect("node blockages never disconnect the grid");
+        let (g2, a, b) = inst.graph_with_extra_edge_block(sel);
+        match FastPathSpec::new(&g2, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+        {
+            // Fewer wires → the optimum can only get worse (or stay, if
+            // the blocked edge was off the optimal route).
+            Ok(blocked) => prop_assert!(
+                blocked.delay().ps() >= base.delay().ps() - 1e-9,
+                "blocking {a}-{b} improved delay {} → {}",
+                base.delay(), blocked.delay()
+            ),
+            // Disconnecting the terminals is the extreme case of "worse".
+            Err(RouteError::NoFeasibleRoute) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_a_gate_site_never_decreases_fastpath_delay(
+        inst in instance(),
+        sel in 0u64..u64::MAX,
+    ) {
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let base = FastPathSpec::new(&inst.graph(), &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+            .expect("connected");
+        // A node blockage removes a buffer site but keeps the wire
+        // routable, so the route survives with equal or worse delay.
+        let (g2, p) = inst.graph_with_extra_node_block(sel);
+        let blocked = FastPathSpec::new(&g2, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .solve()
+            .expect("node blockages never disconnect the grid");
+        prop_assert!(
+            blocked.delay().ps() >= base.delay().ps() - 1e-9,
+            "blocking gate site {p} improved delay {} → {}",
+            base.delay(), blocked.delay()
+        );
+    }
+
+    #[test]
+    fn blocking_a_gate_site_never_reduces_rbp_registers(
+        inst in instance(),
+        sel in 0u64..u64::MAX,
+    ) {
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        let base = RbpSpec::new(&inst.graph(), &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        let (g2, p) = inst.graph_with_extra_node_block(sel);
+        let blocked = RbpSpec::new(&g2, &tech, &lib)
+            .source(inst.source())
+            .sink(inst.sink())
+            .period(t)
+            .solve();
+        match (base, blocked) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                b.register_count() >= a.register_count(),
+                "blocking {p} reduced registers {} → {}",
+                a.register_count(), b.register_count()
+            ),
+            (Err(_), Ok(_)) => prop_assert!(
+                false,
+                "blocking {p} rescued an infeasible instance"
+            ),
+            // Losing a register site can break feasibility; fine.
+            (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+        }
+    }
+
+    #[test]
+    fn grid_refinement_never_worsens_routed_delay(
+        width in 3u32..6,
+        height in 3u32..5,
+        pitch_um in 400.0f64..1600.0,
+        period_ps in 100.0f64..700.0,
+    ) {
+        // Halving the pitch and doubling the node density embeds the
+        // coarse grid exactly (node (x, y) ↦ (2x, 2y)); splitting an edge
+        // in two preserves its Elmore delay, so every coarse route exists
+        // on the fine grid at the same delay — the fine optimum can only
+        // match or improve it.
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let coarse = GridGraph::open(width, height, Length::from_um(pitch_um));
+        let fine = GridGraph::open(
+            2 * width - 1,
+            2 * height - 1,
+            Length::from_um(pitch_um / 2.0),
+        );
+        let (s, t) = (Point::new(0, 0), Point::new(width - 1, height - 1));
+        let (fs, ft) = (Point::new(0, 0), Point::new(2 * (width - 1), 2 * (height - 1)));
+
+        let cd = FastPathSpec::new(&coarse, &tech, &lib)
+            .source(s).sink(t).solve().expect("open grid");
+        let fd = FastPathSpec::new(&fine, &tech, &lib)
+            .source(fs).sink(ft).solve().expect("open grid");
+        prop_assert!(
+            fd.delay().ps() <= cd.delay().ps() + 1e-6,
+            "refinement worsened delay {} → {}", cd.delay(), fd.delay()
+        );
+
+        let tp = Time::from_ps(period_ps);
+        let cr = RbpSpec::new(&coarse, &tech, &lib)
+            .source(s).sink(t).period(tp).solve();
+        let fr = RbpSpec::new(&fine, &tech, &lib)
+            .source(fs).sink(ft).period(tp).solve();
+        match (cr, fr) {
+            (Ok(c), Ok(f)) => prop_assert!(
+                f.register_count() <= c.register_count(),
+                "refinement worsened registers {} → {}",
+                c.register_count(), f.register_count()
+            ),
+            (Ok(_), Err(_)) => prop_assert!(false, "refinement broke feasibility"),
+            // Refinement adding register sites can rescue feasibility.
+            (Err(_), _) => {}
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct TinyInstance {
     width: u32,

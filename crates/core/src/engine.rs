@@ -46,6 +46,7 @@ impl Arena {
     }
 
     pub fn push(&mut self, node: NodeId, gate: Option<GateId>, parent: u32) -> u32 {
+        // crlint-allow: CR002 arena growth is capped by the budget meter well below u32::MAX steps
         let id = u32::try_from(self.steps.len()).expect("arena overflow");
         self.steps.push(Step { node, gate, parent });
         id
@@ -81,6 +82,7 @@ impl Arena {
                 // pushed after arrival steps, so the gate is already
                 // recorded; arrival steps carry `None`).
                 if labels.last() == Some(&None) {
+                    // crlint-allow: CR002 the `last()` probe above just returned Some
                     *labels.last_mut().expect("non-empty") = step.gate;
                 }
             } else {
@@ -174,6 +176,9 @@ impl Ord for QueueEntry {
     }
 }
 
+// The canonical CR001 pattern: `PartialOrd` delegates to the total
+// `Ord` above, so NaN can never corrupt the heap invariant. crlint
+// accepts exactly this shape (see crates/lint, rule CR001).
 impl PartialOrd for QueueEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))

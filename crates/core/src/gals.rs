@@ -142,6 +142,7 @@ impl<'a> GalsSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
+        // crlint-allow: CR003 span start; the duration only reaches telemetry, never compared bytes
         let started = std::time::Instant::now();
         let mut stats = SearchStats::new();
         let out = solve(&ctx, t_s.ps(), t_t.ps(), self.budget, &mut stats);
@@ -337,6 +338,7 @@ fn solve(
             stats.budget_charges += 1;
             stats.promoted += 1;
             meter.charge_expand()?;
+            // crlint-allow: CR002 `peek_key` on the same queue just returned Some
             let cand = qstar.pop().expect("peeked");
             let key = cand.node.index() * 2 + usize::from(cand.fifo_inserted);
             prune.try_admit(key, cand.cap, cand.delay, 0.0, false, &mut stats.pruned);

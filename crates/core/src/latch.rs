@@ -153,6 +153,7 @@ impl<'a> LatchSpec<'a> {
             self.source_gate,
             self.sink_gate,
         )?;
+        // crlint-allow: CR003 span start; the duration only reaches telemetry, never compared bytes
         let started = std::time::Instant::now();
         let mut stats = SearchStats::new();
         let out = solve(&ctx, t_phi, self.borrow, self.budget, &mut stats);

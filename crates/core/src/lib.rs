@@ -1,4 +1,3 @@
-#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Optimal simultaneous routing and synchronizer insertion — the core
 //! algorithms of Hassoun & Alpert, *“Optimal Path Routing in Single- and
 //! Multiple-Clock Domain Systems”* (IEEE TCAD, 2003).

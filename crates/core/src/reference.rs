@@ -40,6 +40,7 @@ fn dfs(
     path: &mut Vec<NodeId>,
     f: &mut impl FnMut(&[NodeId]),
 ) {
+    // crlint-allow: CR002 recursion invariant: callers seed `path` with the source node
     let u = *path.last().expect("path non-empty");
     if u == t {
         f(path);

@@ -186,6 +186,7 @@ impl GateLibraryBuilder {
     }
 
     fn push(&mut self, name: &str, gate: Gate) -> GateId {
+        // crlint-allow: CR002 builder API contract: libraries are tiny, >u16::MAX gates is caller error
         let id = GateId(u16::try_from(self.gates.len()).expect("too many gates"));
         self.gates.push(gate);
         self.names.push(name.to_owned());
@@ -238,6 +239,7 @@ impl GateLibraryBuilder {
     /// characteristics for register and MCFIFO).
     pub fn build(mut self) -> GateLibrary {
         assert!(!self.buffers.is_empty(), "buffer library may not be empty");
+        // crlint-allow: CR002 documented builder contract: build() panics without a register model
         let register = self.register.expect("a register model is required");
         let reg_gate = self.gates[register.index()];
         let latch = self.latch.unwrap_or_else(|| {
@@ -248,6 +250,7 @@ impl GateLibraryBuilder {
                 reg_gate.intrinsic(),
                 reg_gate.setup(),
             );
+            // crlint-allow: CR002 builder API contract: libraries are tiny, >u16::MAX gates is caller error
             let id = GateId(u16::try_from(self.gates.len()).expect("too many gates"));
             self.gates.push(g);
             self.names.push("latch(default)".to_owned());
@@ -261,6 +264,7 @@ impl GateLibraryBuilder {
                 reg_gate.intrinsic(),
                 reg_gate.setup(),
             );
+            // crlint-allow: CR002 builder API contract: libraries are tiny, >u16::MAX gates is caller error
             let id = GateId(u16::try_from(self.gates.len()).expect("too many gates"));
             self.gates.push(g);
             self.names.push("mcfifo(default)".to_owned());

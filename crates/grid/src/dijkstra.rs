@@ -44,6 +44,9 @@ impl Ord for HeapEntry {
     }
 }
 
+// The canonical CR001 pattern: `PartialOrd` delegates to the total
+// `Ord` above, so NaN can never corrupt the heap invariant. crlint
+// accepts exactly this shape (see crates/lint, rule CR001).
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -82,6 +85,10 @@ pub fn shortest_path(
     dist[s.index()] = 0.0;
     heap.push(HeapEntry { dist: 0.0, node: s });
 
+    // Edge lengths are finite by construction (GridGraph validates the
+    // pitch), so every relaxed distance stays finite; the debug assert
+    // below guards the total order the heap relies on.
+
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.index()] {
             continue;
@@ -91,6 +98,7 @@ pub fn shortest_path(
         }
         for v in graph.neighbors(u) {
             let nd = d + graph.edge_length(u, v).um();
+            debug_assert!(nd.is_finite(), "non-finite heap key {nd}");
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 prev[v.index()] = Some(u);

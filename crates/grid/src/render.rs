@@ -5,7 +5,9 @@
 
 use crate::{GridGraph, GridPath};
 use clockroute_geom::Point;
-use std::collections::HashMap;
+// Ordered collections throughout: rendered art is diffed byte-for-byte
+// in tests and reports (crlint CR006).
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Options controlling [`render_grid`].
 #[derive(Debug, Clone)]
@@ -54,8 +56,8 @@ pub fn render_grid(
     labels: &[(Point, char)],
     opts: &RenderOptions,
 ) -> String {
-    let label_map: HashMap<Point, char> = labels.iter().copied().collect();
-    let route_set: std::collections::HashSet<Point> = route
+    let label_map: BTreeMap<Point, char> = labels.iter().copied().collect();
+    let route_set: BTreeSet<Point> = route
         .map(|r| r.points().iter().copied().collect())
         .unwrap_or_default();
 

@@ -1,0 +1,377 @@
+//! A small handwritten Rust lexer: just enough token structure for the
+//! line-walking rules in [`crate::rules`].
+//!
+//! The goal is *not* a faithful Rust grammar — it is to make the rules
+//! immune to the classic grep failure modes: a `.unwrap()` inside a
+//! string literal, a `thread::spawn` mentioned in a doc comment, a
+//! lifetime `'a` mistaken for an unterminated char literal. Everything
+//! the rules match on is an identifier or punctuation token; string,
+//! char and numeric literals are reduced to opaque markers and comments
+//! are routed to a separate side channel (they still matter, because
+//! suppression directives live in them).
+
+/// One lexical token. Literal payloads are dropped — no rule inspects
+/// them, and keeping them would only invite string-content matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`while`, `unwrap`, `HashMap`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens (`::` is two `Sym(':')`).
+    Sym(char),
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br##"…"##`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Numeric literal (integer or float, any base or suffix).
+    Num,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block, doc or plain) with its starting line.
+/// Block comment text may span lines; suppression directives are only
+/// honoured on line comments, which never do.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexes `src`, returning code tokens and comments separately.
+///
+/// The lexer never fails: unterminated literals simply consume the rest
+/// of the file. That is the right degradation for a linter — a file the
+/// compiler would reject produces garbage findings at worst, and the
+/// build gate catches it first.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c => {
+                    self.emit(Tok::Sym(c));
+                    self.pos += 1;
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: Tok) {
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.comments.push(Comment { text, line: start });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        self.comments.push(Comment { text, line: start });
+    }
+
+    /// Consumes a plain `"…"` string starting at the opening quote.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.tokens.push(Token {
+            kind: Tok::Str,
+            line,
+        });
+    }
+
+    /// Consumes a raw string starting at `r`/`br` (hashes follow).
+    fn raw_string(&mut self) {
+        let line = self.line;
+        // Count opening hashes, then skip the quote.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        self.pos += 1;
+                        continue 'outer;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.tokens.push(Token {
+            kind: Tok::Str,
+            line,
+        });
+    }
+
+    /// Distinguishes lifetimes (`'a`) from char literals (`'a'`, `'\n'`).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'` followed by ident-start and NOT closed by a quote right
+        // after the ident run is a lifetime.
+        if let Some(c1) = self.peek(1) {
+            if c1 == '_' || c1.is_alphabetic() {
+                let mut end = 2;
+                while self
+                    .peek(end)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    end += 1;
+                }
+                if self.peek(end) != Some('\'') {
+                    self.pos += end;
+                    self.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                    return;
+                }
+            }
+        }
+        // Char literal: skip escape or single char, then closing quote.
+        self.pos += 1;
+        if self.peek(0) == Some('\\') {
+            self.pos += 2;
+            // Unicode escapes: `'\u{1F600}'`.
+            if self.peek(0) == Some('{') {
+                while self.peek(0).is_some_and(|c| c != '}') {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            }
+        } else {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some('\'') {
+            self.pos += 1;
+        }
+        self.tokens.push(Token {
+            kind: Tok::Char,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        // Float continuation: `1.25`, `1.0e-3` — but not `1.max(2)`.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                self.pos += 1;
+            }
+        }
+        // Exponent sign: `1e-3` consumed the `e` above; pick up `-3`.
+        if self.peek(0) == Some('-')
+            && self
+                .chars
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|&c| c == 'e' || c == 'E')
+        {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Tok::Num,
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+        // `b'x'`.
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"' | '#')) => {
+                self.raw_string();
+                return;
+            }
+            ("b", Some('"')) => {
+                self.string();
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        self.tokens.push(Token {
+            kind: Tok::Ident(name),
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let (toks, _) = lex(src);
+        toks.iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // a .unwrap() in a comment
+            /* thread::spawn in /* a nested */ block */
+            let s = "calls .unwrap() here";
+            let r = r#"raw .expect( too"#;
+            let b = b"bytes .unwrap()";
+            x.checked();
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"spawn".to_string()));
+        assert!(names.contains(&"checked".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) { x.unwrap(); let c = 'x'; }";
+        let names = idents(src);
+        assert!(names.contains(&"unwrap".to_string()));
+        let (toks, _) = lex(src);
+        assert!(toks.iter().any(|t| t.kind == Tok::Lifetime));
+        assert!(toks.iter().any(|t| t.kind == Tok::Char));
+    }
+
+    #[test]
+    fn comments_carry_line_numbers() {
+        let (_, comments) = lex("let a = 1;\n// crlint-allow: CR001 why\nlet b = 2;\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("crlint-allow"));
+    }
+
+    #[test]
+    fn escaped_quotes_and_floats() {
+        let src = r#"let s = "he said \"hi\""; let f = 1.5e-3; f.total_cmp(&g);"#;
+        let names = idents(src);
+        assert!(!names.contains(&"hi".to_string()));
+        assert!(names.contains(&"total_cmp".to_string()));
+    }
+}

@@ -1,0 +1,369 @@
+//! The rule set. Every rule is traceable to a bug class that PRs 1–3
+//! fixed by hand; see DESIGN.md §11 for the full motivation table.
+//!
+//! Rules operate on the lexed token stream of one file
+//! ([`crate::scan::FileCtx`]) and append [`Finding`]s. Suppression
+//! (`// crlint-allow: CRxxx reason`) is applied afterwards by the
+//! runner in [`crate::lib`], so rules stay suppression-agnostic.
+
+use crate::scan::FileCtx;
+use crate::{Finding, Severity};
+
+/// All rule IDs, in report order.
+pub const RULE_IDS: [&str; 7] = [
+    "CR000", "CR001", "CR002", "CR003", "CR004", "CR005", "CR006",
+];
+
+/// Crates whose non-test code must be panic-free (`unwrap`/`expect`):
+/// the algorithmic core that the degradation ladder must be able to
+/// trust (PR 1 wrapped it in `catch_unwind` precisely because it could
+/// not).
+const CR002_CRATES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/grid/src/",
+    "crates/elmore/src/",
+    "crates/geom/src/",
+    "crates/plan/src/",
+];
+
+/// The only files allowed to read wall clocks: the budget meter (that
+/// is its job) and the telemetry module (span durations). Everything
+/// else must route timing through one of those two seams or carry an
+/// explicit suppression — the `--jobs` byte-identity contract depends
+/// on no other nondeterministic clock reads reaching an output.
+const CR003_ALLOWED_FILES: [&str; 2] = ["crates/core/src/budget.rs", "crates/core/src/telemetry.rs"];
+
+/// The only crate allowed to create threads: the speculative-commit
+/// planner. Searches must stay single-threaded and cancellable.
+const CR004_THREAD_CRATE: &str = "crates/plan/src/";
+
+/// The four label-correcting search modules whose queue loops must be
+/// budget-cancellable (the PR 2 promptness bug: expansion/promotion
+/// loops that never sampled the deadline).
+const CR005_FILES: [&str; 4] = [
+    "crates/core/src/fastpath.rs",
+    "crates/core/src/rbp.rs",
+    "crates/core/src/gals.rs",
+    "crates/core/src/latch.rs",
+];
+
+/// Report/serialization modules whose output is byte-compared across
+/// `--jobs`: unordered collections are banned outright (not just their
+/// iteration — a `HashMap` that is only probed today becomes one that
+/// is iterated tomorrow).
+const CR006_FILES: [&str; 7] = [
+    "crates/grid/src/render.rs",
+    "crates/core/src/telemetry.rs",
+    "crates/core/src/result.rs",
+    "crates/cli/src/lib.rs",
+    "crates/cli/src/main.rs",
+    "crates/cli/src/scenario.rs",
+    "crates/bench/src/lib.rs",
+];
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    cr001_partial_cmp(ctx, out);
+    cr002_unwrap(ctx, out);
+    cr003_wall_clock(ctx, out);
+    cr004_threads(ctx, out);
+    cr005_uncharged_loops(ctx, out);
+    cr006_unordered_collections(ctx, out);
+}
+
+fn finding(ctx: &FileCtx, rule: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        severity: Severity::Error,
+        path: ctx.rel.clone(),
+        line,
+        message,
+    }
+}
+
+/// CR001 — NaN-unsound orderings (the PR 2 heap bug).
+///
+/// Two patterns fire:
+/// 1. any `.partial_cmp(` call in non-test code — on `f64` keys it
+///    returns `None` for NaN and callers invariably `unwrap` or treat
+///    `None` as `Equal`, silently corrupting heap order;
+/// 2. an `impl PartialOrd for …` block that does not delegate to a
+///    total order (`self.cmp(…)` or `f64::total_cmp`). The canonical
+///    allowed pattern is `QueueEntry` in `crates/core/src/engine.rs`
+///    and `HeapEntry` in `crates/grid/src/dijkstra.rs`.
+fn cr001_partial_cmp(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        // Pattern 1: `.partial_cmp(`.
+        if ctx.sym(i, '.')
+            && ctx.ident(i + 1) == Some("partial_cmp")
+            && ctx.sym(i + 2, '(')
+            && !ctx.in_test(ctx.line_of(i + 1))
+        {
+            out.push(finding(
+                ctx,
+                "CR001",
+                ctx.line_of(i + 1),
+                "NaN-unsound `.partial_cmp(` call on an ordering key; use \
+                 `f64::total_cmp` or delegate to a total `Ord` impl \
+                 (canonical pattern: QueueEntry in crates/core/src/engine.rs)"
+                    .to_string(),
+            ));
+        }
+        // Pattern 2: `impl … PartialOrd … for … { … }` without a
+        // total-order delegation in the body.
+        if ctx.ident(i) == Some("impl") {
+            if let Some((open, line)) = partial_ord_impl_header(ctx, i) {
+                if ctx.in_test(line) {
+                    continue;
+                }
+                let close = ctx.matching_brace(open);
+                let mut delegates = false;
+                for j in open..close {
+                    if ctx.ident(j) == Some("total_cmp") {
+                        delegates = true;
+                        break;
+                    }
+                    if ctx.ident(j) == Some("self")
+                        && ctx.sym(j + 1, '.')
+                        && ctx.ident(j + 2) == Some("cmp")
+                        && ctx.sym(j + 3, '(')
+                    {
+                        delegates = true;
+                        break;
+                    }
+                }
+                if !delegates {
+                    out.push(finding(
+                        ctx,
+                        "CR001",
+                        line,
+                        "hand-rolled `PartialOrd` impl does not delegate to a \
+                         total order; write `Some(self.cmp(other))` over an \
+                         `Ord` impl built on `f64::total_cmp`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// If token `i` (`impl`) opens a `PartialOrd` *trait impl* (not a
+/// generic bound), returns the index of its `{` and the header line.
+fn partial_ord_impl_header(ctx: &FileCtx, i: usize) -> Option<(usize, u32)> {
+    let mut angle = 0i64;
+    let mut saw_trait = false;
+    let mut saw_for = false;
+    for j in (i + 1)..ctx.tokens.len() {
+        if ctx.sym(j, '<') {
+            angle += 1;
+        } else if ctx.sym(j, '>') {
+            angle -= 1;
+        } else if ctx.sym(j, ';') {
+            return None;
+        } else if ctx.sym(j, '{') {
+            return (saw_trait && saw_for).then_some((j, ctx.line_of(i)));
+        } else if angle == 0 && ctx.ident(j) == Some("PartialOrd") {
+            saw_trait = true;
+        } else if angle == 0 && ctx.ident(j) == Some("for") && saw_trait {
+            saw_for = true;
+        }
+    }
+    None
+}
+
+/// CR002 — `.unwrap()` / `.expect(` in non-test code of the algorithmic
+/// crates. Extends core's old `deny(clippy::unwrap_used)` (now hoisted
+/// to `[workspace.lints]`) with `expect`, which clippy left legal: a
+/// panic anywhere in the solve path escapes into the degradation
+/// ladder's `catch_unwind` and turns an explainable error into a
+/// `Degradation::PanicIsolated`.
+fn cr002_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !CR002_CRATES.iter().any(|p| ctx.rel.starts_with(p)) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if !ctx.sym(i, '.') {
+            continue;
+        }
+        let Some(name) = ctx.ident(i + 1) else {
+            continue;
+        };
+        if (name == "unwrap" || name == "expect") && ctx.sym(i + 2, '(') {
+            let line = ctx.line_of(i + 1);
+            if ctx.in_test(line) {
+                continue;
+            }
+            out.push(finding(
+                ctx,
+                "CR002",
+                line,
+                format!(
+                    "`.{name}(` in non-test core-path code can panic into the \
+                     degradation ladder; return a `RouteError` or suppress \
+                     with a proof the value is always present"
+                ),
+            ));
+        }
+    }
+}
+
+/// CR003 — wall-clock reads outside the budget/telemetry seams.
+/// Determinism guard for the byte-identical `--jobs` contract: a clock
+/// read that influences anything byte-compared is a heisenbug factory.
+fn cr003_wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if CR003_ALLOWED_FILES.contains(&ctx.rel.as_str()) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if (name == "Instant" || name == "SystemTime")
+            && ctx.path_sep(i + 1)
+            && ctx.ident(i + 3) == Some("now")
+            && ctx.sym(i + 4, '(')
+            && !ctx.in_test(ctx.line_of(i))
+        {
+            out.push(finding(
+                ctx,
+                "CR003",
+                ctx.line_of(i),
+                format!(
+                    "`{name}::now()` outside budget.rs/telemetry.rs; route \
+                     timing through `SearchBudget` or a telemetry span, or \
+                     suppress with a reason the value never reaches \
+                     deterministic output"
+                ),
+            ));
+        }
+    }
+}
+
+/// CR004 — the race-audit rule: thread creation is confined to the
+/// planner (whose speculative-commit protocol is the one audited
+/// concurrency seam), and `static mut` is banned outright.
+fn cr004_threads(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let thread_ok = ctx.rel.starts_with(CR004_THREAD_CRATE);
+    for i in 0..ctx.tokens.len() {
+        if ctx.ident(i) == Some("thread")
+            && ctx.path_sep(i + 1)
+            && matches!(ctx.ident(i + 3), Some("spawn" | "scope"))
+            && !thread_ok
+            && !ctx.in_test(ctx.line_of(i))
+        {
+            out.push(finding(
+                ctx,
+                "CR004",
+                ctx.line_of(i),
+                "thread creation outside crates/plan; parallelism must go \
+                 through the planner's speculative-commit protocol"
+                    .to_string(),
+            ));
+        }
+        // `static mut` is unsound to even audit for; flagged in tests too.
+        if ctx.ident(i) == Some("static") && ctx.ident(i + 1) == Some("mut") {
+            out.push(finding(
+                ctx,
+                "CR004",
+                ctx.line_of(i),
+                "`static mut` is banned; use an atomic, a lock, or \
+                 `thread_local!`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// CR005 — the promptness rule (the PR 2 bug where expansion/promotion
+/// loops between pops never sampled the wall-clock deadline): every
+/// `loop`/`while` body in the four search modules that pops or pushes
+/// queue entries must contain a budget `charge*` call so the search
+/// stays cancellable from inside the loop.
+fn cr005_uncharged_loops(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !CR005_FILES.contains(&ctx.rel.as_str()) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let header = match ctx.ident(i) {
+            Some("loop") => ctx.sym(i + 1, '{').then_some(i + 1),
+            Some("while") => ctx.next_block_open(i + 1),
+            _ => None,
+        };
+        let Some(open) = header else { continue };
+        let line = ctx.line_of(i);
+        if ctx.in_test(line) {
+            continue;
+        }
+        let close = ctx.matching_brace(open);
+        let mut queue_op = false;
+        let mut charged = false;
+        for j in open..close {
+            if let Some(name) = ctx.ident(j) {
+                if name.starts_with("charge") && ctx.sym(j + 1, '(') {
+                    charged = true;
+                }
+            }
+            if ctx.sym(j, '.')
+                && matches!(ctx.ident(j + 1), Some("pop" | "push"))
+                && ctx.sym(j + 2, '(')
+            {
+                if let Some(recv) = ctx.receiver_of(j) {
+                    if is_queue_name(recv) {
+                        queue_op = true;
+                    }
+                }
+            }
+        }
+        // A `while let Some(c) = queue.pop()` condition also counts:
+        // the pop sits between the `while` and the `{`.
+        for j in i..open {
+            if ctx.sym(j, '.') && matches!(ctx.ident(j + 1), Some("pop" | "push")) {
+                if let Some(recv) = ctx.receiver_of(j) {
+                    if is_queue_name(recv) {
+                        queue_op = true;
+                    }
+                }
+            }
+        }
+        if queue_op && !charged {
+            out.push(finding(
+                ctx,
+                "CR005",
+                line,
+                "search loop pops/pushes queue entries without a budget \
+                 `charge`/`charge_expand` call; the deadline is never \
+                 sampled inside this loop (PR 2 promptness bug)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Receiver names that denote search queues/heaps in the four modules.
+fn is_queue_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("queue") || lower.contains("heap") || lower == "spill" || lower == "qstar"
+}
+
+/// CR006 — unordered collections in report/serialization modules.
+/// `MetricsRecorder` aggregates are `--jobs`-independent only because
+/// every map that reaches an output iterates in sorted order.
+fn cr006_unordered_collections(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !CR006_FILES.contains(&ctx.rel.as_str()) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if (name == "HashMap" || name == "HashSet") && !ctx.in_test(ctx.line_of(i)) {
+            out.push(finding(
+                ctx,
+                "CR006",
+                ctx.line_of(i),
+                format!(
+                    "`{name}` in a report/serialization module iterates in \
+                     nondeterministic order; use `BTreeMap`/`BTreeSet` (the \
+                     report is byte-compared across `--jobs`)"
+                ),
+            ));
+        }
+    }
+}

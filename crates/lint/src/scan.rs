@@ -1,0 +1,285 @@
+//! Per-file scanning context shared by every rule: the token stream,
+//! the comments, and which line ranges are test code.
+//!
+//! Test detection is structural, not path-only: `#[cfg(test)]` items and
+//! `#[test]` functions are resolved to line ranges by brace matching on
+//! the token stream (strings and comments are already stripped, so the
+//! braces balance). Files under `tests/`, `benches/` or `examples/`
+//! directories are test scope wholesale.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+
+/// Everything a rule needs to inspect one file.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Whole file is test/dev scope (integration tests, benches,
+    /// examples, fixtures).
+    pub test_file: bool,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// 1-based inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileCtx {
+    pub fn new(rel: &str, src: &str) -> FileCtx {
+        let (tokens, comments) = lex(src);
+        let test_ranges = test_ranges(&tokens);
+        let test_file = rel.split('/').any(|seg| {
+            seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures"
+        });
+        FileCtx {
+            rel: rel.to_string(),
+            test_file,
+            tokens,
+            comments,
+            test_ranges,
+        }
+    }
+
+    /// True if `line` belongs to test code (by file location or by an
+    /// enclosing `#[cfg(test)]` / `#[test]` item).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_file
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The identifier text at token index `i`, if any.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if token `i` is the punctuation character `c`.
+    pub fn sym(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.kind), Some(Tok::Sym(x)) if *x == c)
+    }
+
+    /// True if tokens `i`, `i+1` spell `::`.
+    pub fn path_sep(&self, i: usize) -> bool {
+        self.sym(i, ':') && self.sym(i + 1, ':')
+    }
+
+    pub fn line_of(&self, i: usize) -> u32 {
+        self.tokens.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Index of the brace that closes the `{` at token index `open`.
+    /// Returns the last token index if the file is unbalanced.
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for i in open..self.tokens.len() {
+            if self.sym(i, '{') {
+                depth += 1;
+            } else if self.sym(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// Scans forward from `i` for the next `{` at the current nesting
+    /// level, skipping over balanced `(…)` and `[…]` groups (a `while`
+    /// condition can contain closures or index expressions).
+    pub fn next_block_open(&self, i: usize) -> Option<usize> {
+        let mut round = 0i64;
+        let mut square = 0i64;
+        for j in i..self.tokens.len() {
+            match self.tokens.get(j).map(|t| &t.kind) {
+                Some(Tok::Sym('(')) => round += 1,
+                Some(Tok::Sym(')')) => round -= 1,
+                Some(Tok::Sym('[')) => square += 1,
+                Some(Tok::Sym(']')) => square -= 1,
+                Some(Tok::Sym('{')) if round == 0 && square == 0 => return Some(j),
+                Some(Tok::Sym(';')) if round == 0 && square == 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The receiver identifier of a method call whose `.` sits at token
+    /// index `dot`: for `wave_queues[idx].pop()` it walks back over the
+    /// balanced `[…]` to return `wave_queues`; for `self.queue.pop()` it
+    /// returns `queue`.
+    pub fn receiver_of(&self, dot: usize) -> Option<&str> {
+        let mut i = dot;
+        loop {
+            i = i.checked_sub(1)?;
+            match self.tokens.get(i).map(|t| &t.kind) {
+                Some(Tok::Ident(s)) => return Some(s),
+                Some(Tok::Sym(']')) => {
+                    // Skip the balanced index expression.
+                    let mut depth = 0i64;
+                    while let Some(t) = self.tokens.get(i) {
+                        match t.kind {
+                            Tok::Sym(']') => depth += 1,
+                            Tok::Sym('[') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i = i.checked_sub(1)?;
+                    }
+                }
+                Some(Tok::Sym(')')) => {
+                    let mut depth = 0i64;
+                    while let Some(t) = self.tokens.get(i) {
+                        match t.kind {
+                            Tok::Sym(')') => depth += 1,
+                            Tok::Sym('(') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i = i.checked_sub(1)?;
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Resolves `#[cfg(test)]` and `#[test]` attributes to the line span of
+/// the item they decorate (attribute line through closing brace line).
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let view = TokenSlice { tokens };
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if view.sym(i, '#') && view.sym(i + 1, '[') {
+            let is_test_attr = (view.ident_is(i + 2, "cfg")
+                && view.sym(i + 3, '(')
+                && view.ident_is(i + 4, "test")
+                && view.sym(i + 5, ')'))
+                || (view.ident_is(i + 2, "test") && view.sym(i + 3, ']'));
+            if is_test_attr {
+                let start_line = tokens[i].line;
+                // Find the item's body: first `{` before any `;` at
+                // top nesting (a `mod foo;` or `fn f();` has no body).
+                let attr_end = close_of(tokens, i + 1, '[', ']');
+                if let Some(open) = next_open_brace(tokens, attr_end + 1) {
+                    let close = close_of(tokens, open, '{', '}');
+                    let end_line = tokens.get(close).map_or(start_line, |t| t.line);
+                    ranges.push((start_line, end_line));
+                    // Do not skip past the body: nested attributes in
+                    // non-test positions are impossible here, and the
+                    // overlap is harmless for membership queries.
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+struct TokenSlice<'a> {
+    tokens: &'a [Token],
+}
+
+impl TokenSlice<'_> {
+    fn sym(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.kind), Some(Tok::Sym(x)) if *x == c)
+    }
+    fn ident_is(&self, i: usize, name: &str) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.kind), Some(Tok::Ident(s)) if s == name)
+    }
+}
+
+fn close_of(tokens: &[Token], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            Tok::Sym(c) if *c == oc => depth += 1,
+            Tok::Sym(c) if *c == cc => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn next_open_brace(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut round = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        match &t.kind {
+            Tok::Sym('(') => round += 1,
+            Tok::Sym(')') => round -= 1,
+            Tok::Sym('{') if round == 0 => return Some(i),
+            Tok::Sym(';') if round == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_range() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+fn also_real() {}
+";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(2));
+        assert!(ctx.in_test(4));
+        assert!(ctx.in_test(6));
+        assert!(!ctx.in_test(8));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n  x();\n}\nfn b() {}\n";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(3));
+        assert!(ctx.in_test(4));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn tests_dir_is_all_test() {
+        let ctx = FileCtx::new("crates/x/tests/e2e.rs", "fn helper() {}");
+        assert!(ctx.in_test(1));
+    }
+
+    #[test]
+    fn receiver_walks_back_over_indexing() {
+        let src = "wave_queues[idx].pop(); self.queue.push(x);";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        let dots: Vec<usize> = (0..ctx.tokens.len()).filter(|&i| ctx.sym(i, '.')).collect();
+        assert_eq!(ctx.receiver_of(dots[0]), Some("wave_queues"));
+        assert_eq!(ctx.receiver_of(dots[1]), Some("self"));
+        assert_eq!(ctx.receiver_of(dots[2]), Some("queue"));
+    }
+}

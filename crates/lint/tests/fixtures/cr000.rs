@@ -1,0 +1,16 @@
+// Fixture: CR000 — suppression hygiene.
+
+fn naked_allow(v: &[u32]) -> u32 {
+    // crlint-allow: CR002
+    v.first().unwrap() + 1
+}
+
+fn justified_allow(v: &[u32]) -> u32 {
+    // crlint-allow: CR002 fixture: callers guarantee non-empty input
+    v.first().unwrap() + 1
+}
+
+fn unknown_rule(v: &[u32]) -> u32 {
+    // crlint-allow: CR999 no such rule exists
+    v.first().copied().unwrap_or(0)
+}

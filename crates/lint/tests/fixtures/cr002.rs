@@ -1,0 +1,20 @@
+// Fixture: CR002 — panics in non-test core-path code.
+
+fn lookup(v: &[u32]) -> u32 {
+    // BAD (line 5): unwrap in non-test code.
+    let first = v.first().unwrap();
+    // BAD (line 7): expect in non-test code.
+    let last = v.last().expect("non-empty");
+    // GOOD: unwrap_or is total.
+    first + last + v.get(2).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        // GOOD: test code may unwrap freely.
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

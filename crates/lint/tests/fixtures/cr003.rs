@@ -1,0 +1,17 @@
+// Fixture: CR003 — wall-clock reads outside the budget/telemetry seams.
+use std::time::{Instant, SystemTime};
+
+fn race_the_clock() -> bool {
+    // BAD (line 6): Instant::now() in deterministic code.
+    let t0 = Instant::now();
+    // BAD (line 8): SystemTime::now() too.
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() > 0
+}
+
+#[test]
+fn timing_a_test_is_fine() {
+    // GOOD: test code may read clocks.
+    let t0 = Instant::now();
+    assert!(t0.elapsed().as_nanos() < u128::MAX);
+}

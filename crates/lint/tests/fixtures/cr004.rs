@@ -1,0 +1,13 @@
+// Fixture: CR004 — threads outside the planner, `static mut` anywhere.
+use std::thread;
+
+// BAD (line 5): static mut is banned outright.
+static mut COUNTER: u64 = 0;
+
+fn fan_out() {
+    // BAD (line 9): thread::spawn outside crates/plan.
+    let h = thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    // BAD (line 12): scoped threads too.
+    thread::scope(|_s| {});
+}

@@ -1,0 +1,32 @@
+// Fixture: CR005 — search loops must charge the budget meter.
+// Linted under an impersonated path inside the four search modules.
+
+fn search(queue: &mut Q, meter: &mut M) -> Option<u32> {
+    // BAD (line 6): pops the queue, never charges the meter.
+    while let Some(cand) = queue.pop() {
+        if cand.done() {
+            return Some(cand.value());
+        }
+        queue.push(cand.expand());
+    }
+    None
+}
+
+fn charged_search(queue: &mut Q, meter: &mut M) -> Option<u32> {
+    // GOOD: the canonical loop shape — pop, charge, expand.
+    while let Some(cand) = queue.pop() {
+        meter.charge_pop(queue.len())?;
+        for next in cand.successors() {
+            meter.charge_expand()?;
+            queue.push(next);
+        }
+    }
+    None
+}
+
+fn rebuild(points: &mut Vec<u32>) {
+    // GOOD: a plain Vec loop is not a queue loop.
+    while let Some(p) = points.pop() {
+        let _ = p;
+    }
+}

@@ -1,0 +1,189 @@
+//! Fixture-based rule tests: every rule CR000–CR006 must fire on its
+//! known-bad snippet at the documented file:line, and stay silent on
+//! the good patterns embedded in the same fixtures.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from the workspace
+//! walk — they are data, not code) and are linted under an
+//! *impersonated* workspace-relative path so each rule's scope logic
+//! is exercised too.
+
+use clockroute_lint::lint_source;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"))
+}
+
+/// Lints fixture `name` as if it lived at `rel`, returning
+/// `(rule, line)` pairs in report order.
+fn run(name: &str, rel: &str) -> Vec<(String, u32)> {
+    lint_source(rel, &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn cr001_fires_on_nan_unsound_orderings() {
+    // Anywhere in non-test code; impersonate a core source file.
+    let got = run("cr001.rs", "crates/core/src/engine.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR001".to_string(), 15), // impl PartialOrd without delegation
+            ("CR001".to_string(), 18), // .partial_cmp( inside it
+            ("CR001".to_string(), 24), // sort_by footgun
+        ],
+        "{got:?}"
+    );
+}
+
+#[test]
+fn cr001_is_silent_once_the_delegation_exists() {
+    // The same fixture keeps a canonical `Good` impl: no findings for it.
+    let src = fixture("cr001.rs");
+    let good_only = &src[src.find("struct Good").expect("fixture marker")..];
+    assert!(lint_source("crates/core/src/engine.rs", good_only).is_empty());
+}
+
+#[test]
+fn cr002_fires_in_core_crates_only() {
+    let got = run("cr002.rs", "crates/elmore/src/gate.rs");
+    assert_eq!(
+        got,
+        [("CR002".to_string(), 5), ("CR002".to_string(), 7)],
+        "{got:?}"
+    );
+    // Same file outside the algorithmic crates: out of scope.
+    assert!(run("cr002.rs", "crates/bench/src/lib.rs").is_empty());
+    // Same file in a tests/ directory: test scope.
+    assert!(run("cr002.rs", "crates/core/tests/x.rs").is_empty());
+}
+
+#[test]
+fn cr003_fires_outside_the_clock_seams() {
+    let got = run("cr003.rs", "crates/core/src/rbp.rs");
+    assert_eq!(
+        got,
+        [("CR003".to_string(), 6), ("CR003".to_string(), 8)],
+        "{got:?}"
+    );
+    // The two allowlisted files may read clocks.
+    assert!(run("cr003.rs", "crates/core/src/budget.rs").is_empty());
+    assert!(run("cr003.rs", "crates/core/src/telemetry.rs").is_empty());
+}
+
+#[test]
+fn cr004_fires_on_threads_and_static_mut() {
+    let got = run("cr004.rs", "crates/core/src/fastpath.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR004".to_string(), 5),  // static mut
+            ("CR004".to_string(), 9),  // thread::spawn
+            ("CR004".to_string(), 12), // thread::scope
+        ],
+        "{got:?}"
+    );
+    // The planner may create threads — but static mut stays banned.
+    let plan = run("cr004.rs", "crates/plan/src/lib.rs");
+    assert_eq!(plan, [("CR004".to_string(), 5)], "{plan:?}");
+}
+
+#[test]
+fn cr005_fires_on_uncharged_queue_loops() {
+    let got = run("cr005.rs", "crates/core/src/gals.rs");
+    assert_eq!(got, [("CR005".to_string(), 6)], "{got:?}");
+    // Outside the four search modules the rule is out of scope.
+    assert!(run("cr005.rs", "crates/core/src/engine.rs").is_empty());
+}
+
+#[test]
+fn cr006_fires_on_unordered_collections_in_report_modules() {
+    let got = run("cr006.rs", "crates/grid/src/render.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR006".to_string(), 3),
+            ("CR006".to_string(), 5),
+            ("CR006".to_string(), 11),
+        ],
+        "{got:?}"
+    );
+    // A non-report module may use HashMap (e.g. the reference oracles).
+    assert!(run("cr006.rs", "crates/core/src/reference.rs").is_empty());
+}
+
+#[test]
+fn cr000_requires_reason_and_known_rule() {
+    let got = run("cr000.rs", "crates/core/src/x.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR000".to_string(), 4),  // allow without reason…
+            ("CR002".to_string(), 5),  // …suppresses nothing
+            ("CR000".to_string(), 14), // unknown rule id
+        ],
+        "{got:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: mutating the *real* sources must fail the gate.
+// ---------------------------------------------------------------------
+
+fn real_source(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {rel}: {e}"))
+}
+
+#[test]
+fn deleting_the_total_cmp_delegation_fails_cr001() {
+    for rel in ["crates/core/src/engine.rs", "crates/grid/src/dijkstra.rs"] {
+        let src = real_source(rel);
+        // The file as shipped is clean.
+        assert!(
+            lint_source(rel, &src).is_empty(),
+            "{rel} should be crlint-clean as shipped"
+        );
+        // Delete the total-order delegation, as a careless refactor would.
+        let broken = src.replace("Some(self.cmp(other))", "None");
+        assert_ne!(src, broken, "{rel} lost its delegation anchor");
+        let findings = lint_source(rel, &broken);
+        assert!(
+            findings.iter().any(|f| f.rule == "CR001"),
+            "removing total_cmp from {rel} must trip CR001: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn deleting_a_budget_charge_fails_cr005() {
+    for rel in [
+        "crates/core/src/fastpath.rs",
+        "crates/core/src/rbp.rs",
+        "crates/core/src/gals.rs",
+        "crates/core/src/latch.rs",
+    ] {
+        let src = real_source(rel);
+        assert!(
+            lint_source(rel, &src).is_empty(),
+            "{rel} should be crlint-clean as shipped"
+        );
+        // Strip every charge call the way a careless refactor would.
+        let broken = src
+            .replace("charge_pop(", "uncharged_pop_stub(")
+            .replace("charge_expand(", "uncharged_expand_stub(");
+        assert_ne!(src, broken, "{rel} lost its charge anchors");
+        let findings = lint_source(rel, &broken);
+        assert!(
+            findings.iter().any(|f| f.rule == "CR005"),
+            "removing charges from {rel} must trip CR005: {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The tool runs on itself: the workspace must be crlint-clean, every
+//! suppression must carry a reason, and the `--json` output must
+//! satisfy the same dependency-free JSON checker the e2e suite uses
+//! for `--metrics` files.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_crlint_clean() {
+    let findings = clockroute_lint::run_workspace(workspace_root()).expect("walk");
+    assert!(
+        findings.is_empty(),
+        "the workspace must be crlint-clean; fix or suppress-with-reason:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_zero_and_emits_valid_json_on_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crlint"))
+        .args(["--workspace", "--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn crlint");
+    assert!(out.status.success(), "expected exit 0: {out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    clockroute_core::telemetry::validate_json(&json).expect("crlint --json must be valid JSON");
+    assert!(json.contains("\"findings\":[]"), "clean tree: {json}");
+}
+
+#[test]
+fn binary_exits_one_and_emits_valid_deterministic_json_on_findings() {
+    // A throwaway tree with one known violation per scoped location.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("crlint_bad_ws");
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+    )
+    .expect("write fixture tree");
+
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_crlint"))
+            .args(["--workspace", "--json", "--root"])
+            .arg(&dir)
+            .output()
+            .expect("spawn crlint")
+    };
+    let out = run();
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1: {out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    clockroute_core::telemetry::validate_json(&json).expect("valid JSON with findings");
+    assert!(json.contains("\"rule\":\"CR002\""), "{json}");
+    assert!(json.contains("\"path\":\"crates/core/src/bad.rs\""), "{json}");
+    assert!(json.contains("\"line\":2"), "{json}");
+    // Deterministic: byte-identical across runs.
+    let again = String::from_utf8(run().stdout).expect("utf8");
+    assert_eq!(json, again, "crlint --json must be byte-stable");
+}
+
+#[test]
+fn binary_exits_two_on_internal_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crlint"))
+        .args(["--no-such-flag"])
+        .output()
+        .expect("spawn crlint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -5,6 +5,10 @@
 set -eu
 
 cargo build --release
+# crlint first: the invariant gate (NaN-safe orderings, cancellable
+# search loops, deterministic reports — see DESIGN.md §11) is cheaper
+# than the test suite and its findings explain later failures.
+cargo run --release -p clockroute-lint -- --workspace
 cargo test --workspace -q
 cargo test --workspace --release -q
 # Differential fuzz suite against the exhaustive oracles (fixed seeds,

@@ -1,7 +1,12 @@
-//! Library side of the `clockroute` CLI: the scenario file format.
+//! Library side of the `clockroute` CLI: the scenario file format and
+//! the shared plan report renderer.
 //!
-//! See [`scenario`] for the format specification and parser. The binary
+//! See [`scenario`] for the format specification and parser and
+//! [`report`] for the per-net report text. The `crplan` binary
 //! (`src/main.rs`) reads a scenario, plans every net through
-//! [`clockroute_plan::Planner`], and prints a report.
+//! [`clockroute_plan::Planner`], and prints the report; `crserve`
+//! (crates/service) parses the same format off the wire and returns
+//! the same report bytes.
 
+pub mod report;
 pub mod scenario;

@@ -32,7 +32,7 @@
 //! `--strict`), `1` any net failed — or, under `--strict`, was degraded —
 //! `2` usage or scenario errors.
 
-use clockroute_cli::scenario;
+use clockroute_cli::{report, scenario};
 use clockroute_core::telemetry::Tee;
 use clockroute_core::{failpoint, MetricsRecorder, SearchBudget, Telemetry, TraceWriter};
 use clockroute_elmore::GateLibrary;
@@ -173,6 +173,20 @@ fn main() -> ExitCode {
     // pure function of the scenario, independent of --jobs), so the
     // summary table below is part of the reproducible report. The trace
     // writer, when requested, sees the same stream plus scheduling events.
+    // Preflight the --metrics file alongside --trace: an unwritable
+    // path must fail fast (exit 2) *before* the possibly expensive
+    // solve, not after it.
+    let metrics_file = match &opts.metrics {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some((path.clone(), f)),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     let recorder = Arc::new(MetricsRecorder::new());
     let mut trace_tee = None;
     let sink: Arc<dyn Telemetry + Send + Sync> = match &opts.trace {
@@ -198,8 +212,11 @@ fn main() -> ExitCode {
         .telemetry(SharedTelemetry::new(sink));
     let plan = planner.plan(&scenario.nets);
 
-    for result in plan.results() {
-        println!("{result}");
+    // The per-net lines come from the shared renderer so they are
+    // byte-identical to what `crserve` returns for the same scenario.
+    let report_text = report::plan_report(&plan);
+    for (result, line) in plan.results().iter().zip(report_text.lines()) {
+        println!("{line}");
         if opts.render {
             if let Some(path) = &result.path {
                 let mut labels = vec![(path.source(), 'S'), (path.sink(), 'T')];
@@ -229,15 +246,7 @@ fn main() -> ExitCode {
     let failed = plan.failed().count();
     let degraded = plan.degraded().count();
     if !opts.quiet {
-        println!(
-            "# routed {}/{} nets ({} degraded), {:.1} mm total wire, {} synchronizers, max depth {} cycles",
-            plan.routed().count(),
-            plan.results().len(),
-            degraded,
-            plan.total_wirelength().mm(),
-            plan.total_synchronizers(),
-            plan.max_cycles().unwrap_or(0)
-        );
+        println!("{}", report::summary_line(&plan));
     }
     if !opts.quiet {
         println!("# telemetry");
@@ -245,10 +254,11 @@ fn main() -> ExitCode {
             println!("#   {row}");
         }
     }
-    if let Some(path) = &opts.metrics {
+    if let Some((path, mut file)) = metrics_file {
         let mut json = recorder.to_json();
         json.push('\n');
-        if let Err(e) = std::fs::write(path, json) {
+        let wrote = file.write_all(json.as_bytes()).and_then(|()| file.flush());
+        if let Err(e) = wrote {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(2);
         }

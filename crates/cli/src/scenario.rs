@@ -116,8 +116,14 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut nets: Vec<(NetSpec, usize)> = Vec::new();
     let mut reserve = true;
 
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in text.split('\n').enumerate() {
         let line_no = i + 1;
+        // CRLF files: splitting on '\n' leaves a trailing '\r' on every
+        // line, which must not reach the tokens (canonical hashing makes
+        // a `\r`-polluted net name a silent cache miss). One explicit
+        // strip, then ordinary whitespace trimming handles trailing
+        // spaces/tabs.
+        let raw = raw.strip_suffix('\r').unwrap_or(raw);
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -404,6 +410,31 @@ net gals name=c src=50,5 dst=50,95 ts=300 tt=400
         assert_eq!(e.line, 3);
         let e = parse("die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=9,9\n").unwrap_err();
         assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn accepts_crlf_line_endings() {
+        let lf = "die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let a = parse(lf).unwrap();
+        let b = parse(&crlf).unwrap();
+        assert_eq!(a.nets[0].name, "x");
+        assert_eq!(b.nets[0].name, "x", "no \\r may leak into tokens");
+        assert_eq!(a.grid, b.grid);
+        assert_eq!(a.nets, b.nets);
+        // Error line numbers are preserved under CRLF.
+        let bad = "die 1mm 1mm\r\ngrid 4 4\r\nblok hard 0 0 1 1\r\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn accepts_trailing_whitespace() {
+        let text = "die 1mm 1mm  \t\ngrid 4 4   \nnet comb name=x src=0,0 dst=3,3\t\t\nreserve off  \n";
+        let s = parse(text).unwrap();
+        assert_eq!(s.nets.len(), 1);
+        assert_eq!(s.nets[0].name, "x");
+        assert!(!s.reserve);
     }
 
     #[test]

@@ -280,6 +280,93 @@ net comb name=d0 src=0,0 dst=19,19
     }
 
     #[test]
+    fn unwritable_metrics_path_exits_two_before_solving() {
+        let path = scenario_file("badmetrics", SMALL);
+        let start = Instant::now();
+        let out = crplan()
+            .arg(&path)
+            .arg("--metrics")
+            .arg("/nonexistent-dir/metrics.json")
+            .output()
+            .expect("run crplan");
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot create /nonexistent-dir/metrics.json"),
+            "{stderr}"
+        );
+        // The failure is preflighted: nothing was planned first, so no
+        // per-net report line reached stdout.
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(!stdout.contains("a:"), "solved before failing: {stdout}");
+        assert!(start.elapsed().as_secs() < 30, "did not fail fast");
+    }
+
+    #[test]
+    fn unwritable_trace_path_exits_two() {
+        let path = scenario_file("badtrace", SMALL);
+        let out = crplan()
+            .arg(&path)
+            .arg("--trace")
+            .arg("/nonexistent-dir/trace.jsonl")
+            .output()
+            .expect("run crplan");
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot create /nonexistent-dir/trace.jsonl"),
+            "{stderr}"
+        );
+    }
+
+    #[test]
+    fn crlf_scenario_plans_identically_to_lf() {
+        let lf_path = scenario_file("lf", SMALL);
+        let crlf_path = scenario_file("crlf", &SMALL.replace('\n', "\r\n"));
+        let run = |p: &std::path::Path| {
+            let out = crplan().arg(p).arg("--quiet").output().expect("run crplan");
+            assert!(out.status.success());
+            out.stdout
+        };
+        assert_eq!(run(&lf_path), run(&crlf_path), "CRLF must not change the plan");
+    }
+
+    /// The link `crserve` relies on for its byte-identity contract:
+    /// `crplan --quiet` stdout is exactly the shared library renderer's
+    /// output (`report::plan_report`). The service crate asserts its
+    /// responses embed `plan_report` bytes; together with this test
+    /// that makes hit/warm/cold responses byte-identical to the CLI.
+    #[test]
+    fn quiet_stdout_is_exactly_the_library_report() {
+        use clockroute_cli::{report, scenario};
+        use clockroute_core::SearchBudget;
+        use clockroute_elmore::GateLibrary;
+        use clockroute_grid::GridGraph;
+        use clockroute_plan::Planner;
+
+        let path = scenario_file("libreport", SMALL);
+        let out = crplan().arg(&path).arg("--quiet").output().expect("run crplan");
+        assert!(out.status.success());
+
+        let s = scenario::parse(SMALL).expect("parse");
+        let (gw, gh) = s.grid;
+        let plan = Planner::new(
+            GridGraph::from_floorplan(&s.floorplan, gw, gh),
+            s.tech,
+            GateLibrary::paper_library(),
+        )
+        .reserve_routes(s.reserve)
+        .budget(SearchBudget::unlimited())
+        .jobs(1)
+        .plan(&s.nets);
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            report::plan_report(&plan),
+            "--quiet stdout must be plan_report verbatim"
+        );
+    }
+
+    #[test]
     fn report_includes_telemetry_summary_table() {
         let scenario = stress_scenario();
         let out = crplan().arg(&scenario).output().expect("run crplan");

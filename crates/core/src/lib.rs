@@ -49,6 +49,7 @@
 //! ```
 
 mod budget;
+pub mod canon;
 mod ctx;
 pub mod drc;
 mod engine;

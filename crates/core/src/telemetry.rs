@@ -509,8 +509,11 @@ impl<A: Telemetry, B: Telemetry> Telemetry for Tee<A, B> {
     }
 }
 
-/// Escapes `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (quotes included). Public
+/// because every JSON producer in the workspace (trace lines, `crserve`
+/// protocol responses) must escape identically for `validate_json` /
+/// `validate_jsonl` to hold.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

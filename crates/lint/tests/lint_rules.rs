@@ -71,9 +71,13 @@ fn cr003_fires_outside_the_clock_seams() {
         [("CR003".to_string(), 6), ("CR003".to_string(), 8)],
         "{got:?}"
     );
-    // The two allowlisted files may read clocks.
+    // The three allowlisted files may read clocks.
     assert!(run("cr003.rs", "crates/core/src/budget.rs").is_empty());
     assert!(run("cr003.rs", "crates/core/src/telemetry.rs").is_empty());
+    assert!(run("cr003.rs", "crates/service/src/admission.rs").is_empty());
+    // The rest of the service crate stays clock-free.
+    let got = run("cr003.rs", "crates/service/src/server.rs");
+    assert_eq!(got.len(), 2, "{got:?}");
 }
 
 #[test]
@@ -88,9 +92,15 @@ fn cr004_fires_on_threads_and_static_mut() {
         ],
         "{got:?}"
     );
-    // The planner may create threads — but static mut stays banned.
+    // The planner and the service connection loop may create threads —
+    // but static mut stays banned in both.
     let plan = run("cr004.rs", "crates/plan/src/lib.rs");
     assert_eq!(plan, [("CR004".to_string(), 5)], "{plan:?}");
+    let server = run("cr004.rs", "crates/service/src/server.rs");
+    assert_eq!(server, [("CR004".to_string(), 5)], "{server:?}");
+    // Other service modules stay thread-free.
+    let cache = run("cr004.rs", "crates/service/src/cache.rs");
+    assert_eq!(cache.len(), 3, "{cache:?}");
 }
 
 #[test]
@@ -113,6 +123,9 @@ fn cr006_fires_on_unordered_collections_in_report_modules() {
         ],
         "{got:?}"
     );
+    // The service's response-building modules are held to the same bar.
+    let got = run("cr006.rs", "crates/service/src/protocol.rs");
+    assert_eq!(got.len(), 3, "{got:?}");
     // A non-report module may use HashMap (e.g. the reference oracles).
     assert!(run("cr006.rs", "crates/core/src/reference.rs").is_empty());
 }

@@ -258,7 +258,7 @@ impl fmt::Display for NetResult {
 }
 
 /// A completed plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
     results: Vec<NetResult>,
 }
@@ -300,6 +300,38 @@ impl Plan {
     /// Worst pipeline depth among routed nets.
     pub fn max_cycles(&self) -> Option<usize> {
         self.routed().filter_map(|r| r.cycles).max()
+    }
+}
+
+/// A [`Plan`] plus the per-net search footprints that produced it —
+/// everything a warm-start ([`Planner::plan_warm`]) needs to decide
+/// which cached results survive a grid change.
+///
+/// `footprints[i]` is the grid region net `i`'s winning search
+/// examined, exactly as the parallel scheduler's conflict check uses
+/// it: `Some` only for undegraded successes (degraded rungs and
+/// failures read unbounded grid state, so they carry `None` and are
+/// always re-routed on reuse).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TracedPlan {
+    plan: Plan,
+    footprints: Vec<Option<TouchedRegion>>,
+}
+
+impl TracedPlan {
+    /// The plan itself.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Discards the footprints.
+    pub fn into_plan(self) -> Plan {
+        self.plan
+    }
+
+    /// Per-net search footprints, parallel to `plan().results()`.
+    pub fn footprints(&self) -> &[Option<TouchedRegion>] {
+        &self.footprints
     }
 }
 
@@ -429,6 +461,14 @@ impl Planner {
     /// parallel and committed in order; the resulting [`Plan`] is
     /// bit-identical to the sequential one.
     pub fn plan(self, nets: &[NetSpec]) -> Plan {
+        self.plan_traced(nets).into_plan()
+    }
+
+    /// Like [`Planner::plan`], but additionally returns each net's
+    /// search footprint so the result can seed a later warm-start
+    /// ([`Planner::plan_warm`]). The contained plan is identical to
+    /// what [`Planner::plan`] returns.
+    pub fn plan_traced(self, nets: &[NetSpec]) -> TracedPlan {
         if self.jobs <= 1 || nets.len() < 2 {
             self.plan_sequential(nets)
         } else {
@@ -436,13 +476,101 @@ impl Planner {
         }
     }
 
-    fn plan_sequential(mut self, nets: &[NetSpec]) -> Plan {
+    /// Warm-start (incremental ECO) planning: re-plans `nets` on this
+    /// planner's grid, reusing results from `prior` — a traced plan of
+    /// the *same net list* on a grid that differs only at the points in
+    /// `dirty` — for every net whose search provably never looked at a
+    /// dirty point.
+    ///
+    /// Soundness is the parallel scheduler's conflict argument run in
+    /// reverse (see DESIGN.md §12): walking nets in order, the current
+    /// grid and the prior grid are identical except at `dirty` plus the
+    /// reservations of any already re-routed net (whose old and new
+    /// route points are added to the dirty set as they diverge). A net
+    /// whose recorded footprint, dilated by one grid step, avoids every
+    /// dirty point reads exactly the state the prior run read, so its
+    /// cached result is what a cold solve would recompute. Everything
+    /// else — degraded, failed, or footprint-intersecting nets — is
+    /// re-routed for real.
+    ///
+    /// Falls back to a full cold plan when `prior` does not line up
+    /// with `nets` (different length or names), so callers cannot
+    /// misuse it into unsoundness. Emits `plan.warm.reused` /
+    /// `plan.warm.rerouted` counters when telemetry is attached.
+    pub fn plan_warm(mut self, nets: &[NetSpec], prior: &TracedPlan, dirty: &[Point]) -> TracedPlan {
+        let priors = prior.plan.results();
+        if priors.len() != nets.len()
+            || priors.iter().zip(nets).any(|(r, n)| r.name != n.name)
+        {
+            return self.plan_traced(nets);
+        }
+        let mut dirty = dirty.to_vec();
         let mut results = Vec::with_capacity(nets.len());
+        let mut footprints = Vec::with_capacity(nets.len());
+        for (i, net) in nets.iter().enumerate() {
+            let cached = &priors[i];
+            let reusable = prior.footprints[i].is_some_and(|region| {
+                dirty.iter().all(|&p| !region.contains_within(p, 1))
+            }) && cached.degradation == Degradation::None;
+            if reusable {
+                if let (Some(path), Some(latency), Some(cycles)) =
+                    (cached.path.clone(), cached.latency, cached.cycles)
+                {
+                    if let Some(t) = &self.telemetry {
+                        t.sink().counter("plan.warm.reused", 1);
+                    }
+                    let routed = Routed {
+                        path,
+                        latency,
+                        cycles,
+                        touched: prior.footprints[i],
+                    };
+                    let outcome = Ok((routed, cached.degradation));
+                    let (result, fp) = self.commit(net, outcome, MetricsRecorder::new());
+                    debug_assert_eq!(&result, cached, "reused result must round-trip");
+                    results.push(result);
+                    footprints.push(fp);
+                    continue;
+                }
+            }
+            if let Some(t) = &self.telemetry {
+                t.sink().counter("plan.warm.rerouted", 1);
+            }
+            let (outcome, shard) = self.plan_net(net);
+            let (result, fp) = self.commit(net, outcome, shard);
+            if result != *cached && self.reserve_routes {
+                // The grids diverge wherever either run reserved
+                // resources this net's way; later footprints must clear
+                // both the old and the new route.
+                if let Some(p) = &cached.path {
+                    dirty.extend_from_slice(p.points());
+                }
+                if let Some(p) = &result.path {
+                    dirty.extend_from_slice(p.points());
+                }
+            }
+            results.push(result);
+            footprints.push(fp);
+        }
+        TracedPlan {
+            plan: Plan { results },
+            footprints,
+        }
+    }
+
+    fn plan_sequential(mut self, nets: &[NetSpec]) -> TracedPlan {
+        let mut results = Vec::with_capacity(nets.len());
+        let mut footprints = Vec::with_capacity(nets.len());
         for net in nets {
             let (outcome, shard) = self.plan_net(net);
-            results.push(self.commit(net, outcome, shard));
+            let (result, fp) = self.commit(net, outcome, shard);
+            results.push(result);
+            footprints.push(fp);
         }
-        Plan { results }
+        TracedPlan {
+            plan: Plan { results },
+            footprints,
+        }
     }
 
     /// The speculative-commit scheduler (see the module docs).
@@ -454,9 +582,10 @@ impl Planner {
     /// a round always commits (nothing was reserved before it), so every
     /// round makes progress and the loop terminates after at most
     /// `nets.len()` rounds.
-    fn plan_parallel(mut self, nets: &[NetSpec]) -> Plan {
+    fn plan_parallel(mut self, nets: &[NetSpec]) -> TracedPlan {
         let inherited = failpoint::capture();
-        let mut slots: Vec<Option<NetResult>> = nets.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<(NetResult, Option<TouchedRegion>)>> =
+            nets.iter().map(|_| None).collect();
         let mut pending: Vec<usize> = (0..nets.len()).collect();
         // Deferred nets are re-routed from scratch, so an over-wide window
         // multiplies wasted searches when reservations conflict densely;
@@ -506,12 +635,14 @@ impl Planner {
             }
             pending.drain(..accepted);
         }
-        Plan {
-            results: slots
-                .into_iter()
-                // crlint-allow: CR002 commit-loop invariant: every slot is filled before the drain above empties pending
-                .map(|r| r.expect("every net planned"))
-                .collect(),
+        let (results, footprints) = slots
+            .into_iter()
+            // crlint-allow: CR002 commit-loop invariant: every slot is filled before the drain above empties pending
+            .map(|r| r.expect("every net planned"))
+            .unzip();
+        TracedPlan {
+            plan: Plan { results },
+            footprints,
         }
     }
 
@@ -574,7 +705,12 @@ impl Planner {
     /// why replaying the per-net telemetry shard here makes the aggregate
     /// metrics independent of the job count: shards reach the sink in net
     /// order no matter which worker produced them.
-    fn commit(&mut self, net: &NetSpec, outcome: Outcome, shard: MetricsRecorder) -> NetResult {
+    fn commit(
+        &mut self,
+        net: &NetSpec,
+        outcome: Outcome,
+        shard: MetricsRecorder,
+    ) -> (NetResult, Option<TouchedRegion>) {
         if let Some(t) = &self.telemetry {
             shard.replay_into(t.sink());
             let sink = t.sink();
@@ -615,25 +751,39 @@ impl Planner {
                 if self.reserve_routes {
                     self.reserve(&routed.path, net);
                 }
+                // Degraded rungs read unbounded grid state; only a
+                // clean optimum carries a reusable footprint (the same
+                // rule `unaffected` applies to parallel commits).
+                let fp = if degradation == Degradation::None {
+                    routed.touched
+                } else {
+                    None
+                };
+                (
+                    NetResult {
+                        name: net.name.clone(),
+                        latency: Some(routed.latency),
+                        cycles: Some(routed.cycles),
+                        wirelength: Some(routed.path.wirelength(&self.graph)),
+                        path: Some(routed.path),
+                        error: None,
+                        degradation,
+                    },
+                    fp,
+                )
+            }
+            Err(e) => (
                 NetResult {
                     name: net.name.clone(),
-                    latency: Some(routed.latency),
-                    cycles: Some(routed.cycles),
-                    wirelength: Some(routed.path.wirelength(&self.graph)),
-                    path: Some(routed.path),
-                    error: None,
-                    degradation,
-                }
-            }
-            Err(e) => NetResult {
-                name: net.name.clone(),
-                path: None,
-                latency: None,
-                cycles: None,
-                wirelength: None,
-                error: Some(e),
-                degradation: Degradation::None,
-            },
+                    path: None,
+                    latency: None,
+                    cycles: None,
+                    wirelength: None,
+                    error: Some(e),
+                    degradation: Degradation::None,
+                },
+                None,
+            ),
         }
     }
 
@@ -1501,6 +1651,116 @@ mod tests {
         assert!(sequential.results()[3].is_routed());
         assert_eq!(sequential, run(2));
         assert_eq!(sequential, run(4));
+    }
+
+    #[test]
+    fn traced_plan_matches_plain_plan_and_carries_footprints() {
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let plain = Planner::new(g.clone(), tech, lib.clone()).plan(&nets);
+        let traced = Planner::new(g, tech, lib).plan_traced(&nets);
+        assert_eq!(&plain, traced.plan());
+        assert_eq!(traced.footprints().len(), nets.len());
+        // Undegraded successes carry footprints; everything else None.
+        for (r, fp) in traced.plan().results().iter().zip(traced.footprints()) {
+            assert_eq!(
+                fp.is_some(),
+                r.is_routed() && r.degradation == Degradation::None,
+                "{}",
+                r.name
+            );
+        }
+    }
+
+    /// Blocks every node/edge of a rect on a copy of the grid and
+    /// returns the new graph plus the dirtied points.
+    fn block_rect(g: &GridGraph, x0: u32, y0: u32, x1: u32, y1: u32) -> (GridGraph, Vec<Point>) {
+        let mut g2 = g.clone();
+        let mut dirty = Vec::new();
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let pt = p(x, y);
+                g2.blockage_mut().block_node(pt);
+                dirty.push(pt);
+            }
+        }
+        (g2, dirty)
+    }
+
+    #[test]
+    fn warm_start_far_delta_reuses_and_matches_cold() {
+        let (g, tech, lib) = setup(20);
+        let t = Time::from_ps(400.0);
+        // Nets confined to the left half; the delta lands far right.
+        let nets = vec![
+            NetSpec::registered("a", p(0, 2), p(8, 2), t),
+            NetSpec::registered("b", p(0, 6), p(8, 6), t),
+            NetSpec::combinational("c", p(0, 10), p(8, 10)),
+        ];
+        let prior = Planner::new(g.clone(), tech, lib.clone()).plan_traced(&nets);
+        let (g2, dirty) = block_rect(&g, 17, 15, 19, 19);
+        let cold = Planner::new(g2.clone(), tech, lib.clone()).plan_traced(&nets);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let warm = Planner::new(g2, tech, lib)
+            .telemetry(SharedTelemetry::new(recorder.clone()))
+            .plan_warm(&nets, &prior, &dirty);
+        assert_eq!(cold.plan(), warm.plan());
+        assert_eq!(cold.footprints(), warm.footprints());
+        // Search footprints are over-approximations (arena bounding
+        // boxes), so not every net clears the delta — but at least one
+        // must, and every net is either reused or re-routed.
+        let reused = recorder.counter_value("plan.warm.reused");
+        let rerouted = recorder.counter_value("plan.warm.rerouted");
+        assert!(reused >= 1, "reused {reused}");
+        assert_eq!(reused + rerouted, 3);
+    }
+
+    #[test]
+    fn warm_start_conflicting_delta_reroutes_and_matches_cold() {
+        let (g, tech, lib) = setup(20);
+        let t = Time::from_ps(400.0);
+        let nets = vec![
+            NetSpec::registered("hit", p(0, 10), p(19, 10), t),
+            NetSpec::registered("near", p(0, 11), p(19, 11), t),
+            NetSpec::registered("far", p(0, 2), p(19, 2), t),
+        ];
+        let prior = Planner::new(g.clone(), tech, lib.clone()).plan_traced(&nets);
+        // Block part of the straight row the first net used, forcing a
+        // detour that may in turn disturb its neighbour.
+        let (g2, dirty) = block_rect(&g, 8, 10, 10, 10);
+        let cold = Planner::new(g2.clone(), tech, lib.clone()).plan_traced(&nets);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let warm = Planner::new(g2, tech, lib)
+            .telemetry(SharedTelemetry::new(recorder.clone()))
+            .plan_warm(&nets, &prior, &dirty);
+        assert_eq!(cold.plan(), warm.plan());
+        assert!(recorder.counter_value("plan.warm.rerouted") >= 1);
+        // The detoured route differs from the prior one.
+        assert_ne!(
+            prior.plan().results()[0].path,
+            warm.plan().results()[0].path
+        );
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_prior_falls_back_to_cold() {
+        let (g, tech, lib) = setup(12);
+        let t = Time::from_ps(400.0);
+        let nets_a = vec![NetSpec::registered("a", p(0, 2), p(11, 2), t)];
+        let nets_b = vec![NetSpec::registered("b", p(0, 4), p(11, 4), t)];
+        let prior = Planner::new(g.clone(), tech, lib.clone()).plan_traced(&nets_a);
+        let cold = Planner::new(g.clone(), tech, lib.clone()).plan_traced(&nets_b);
+        let warm = Planner::new(g, tech, lib).plan_warm(&nets_b, &prior, &[]);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn warm_start_empty_delta_reproduces_prior() {
+        let (g, tech, lib) = setup(20);
+        let nets = crossing_nets();
+        let prior = Planner::new(g.clone(), tech, lib.clone()).plan_traced(&nets);
+        let warm = Planner::new(g, tech, lib).plan_warm(&nets, &prior, &[]);
+        assert_eq!(prior.plan(), warm.plan());
     }
 
     #[test]

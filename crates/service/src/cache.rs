@@ -1,0 +1,254 @@
+//! Bounded LRU cache of solved scenarios, keyed by canonical hash.
+//!
+//! Each entry keeps the parsed [`Scenario`] alongside its solve so
+//! lookups can be verified *structurally* — a canonical-hash collision
+//! degrades to a miss, it never serves a wrong answer. Entries are
+//! also indexed by their blockage-independent base key, which is what
+//! makes near-miss warm-starting possible: a request whose base
+//! matches a cached entry but whose blocks differ re-routes only the
+//! nets whose footprints intersect the blockage delta (see
+//! [`crate::keys::block_delta`]).
+//!
+//! The map is a `BTreeMap`, not a hash map, so iteration order — and
+//! therefore which base-key candidate wins when several match — is
+//! deterministic across runs and platforms.
+
+use crate::keys::{block_delta, same_base, same_blocks};
+use clockroute_cli::scenario::Scenario;
+use clockroute_plan::TracedPlan;
+use std::collections::BTreeMap;
+
+/// Everything a `route` response needs, as produced by a cold solve.
+/// A cache hit replays these fields verbatim, which is what makes hit
+/// responses byte-identical to cold ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Solved {
+    /// The plan plus per-net footprints (for warm-starting later).
+    pub traced: TracedPlan,
+    /// Rendered per-net report — byte-identical to `crplan --quiet`.
+    pub report: String,
+    /// Nets routed (possibly degraded).
+    pub routed: usize,
+    /// Nets that failed outright.
+    pub failed: usize,
+    /// Nets routed by a fallback ladder rung.
+    pub degraded: usize,
+}
+
+/// One cached scenario.
+#[derive(Debug, Clone)]
+struct Entry {
+    base: u64,
+    scenario: Scenario,
+    solved: Solved,
+    last_used: u64,
+}
+
+/// A warm-start candidate pulled from the cache.
+#[derive(Debug, Clone)]
+pub struct WarmPrior {
+    /// The cached solve to reuse nets from.
+    pub traced: TracedPlan,
+    /// Grid points invalidated by the blockage delta.
+    pub dirty: Vec<clockroute_geom::Point>,
+}
+
+/// Bounded LRU over canonical scenario keys.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    tick: u64,
+    entries: BTreeMap<u64, Entry>,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` solves (`cap == 0` disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            cap,
+            tick: 0,
+            entries: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached solves.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries evicted to honour the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Exact lookup: the stored solve for `scenario` if an entry with
+    /// this `key` exists *and* structurally matches. Bumps recency.
+    pub fn lookup(&mut self, key: u64, scenario: &Scenario) -> Option<Solved> {
+        let tick = self.next_tick();
+        let entry = self.entries.get_mut(&key)?;
+        if !(same_base(&entry.scenario, scenario) && same_blocks(&entry.scenario, scenario)) {
+            // A 64-bit collision: treat as a miss; the insert after the
+            // cold solve will replace this slot.
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.solved.clone())
+    }
+
+    /// Near-miss lookup: the most recently used entry sharing
+    /// `scenario`'s base (same die, grid, tech, nets, reservation) with
+    /// a blockage delta of at most `max_dirty` grid points. Bumps the
+    /// chosen entry's recency.
+    pub fn find_warm(
+        &mut self,
+        base: u64,
+        scenario: &Scenario,
+        max_dirty: usize,
+    ) -> Option<WarmPrior> {
+        let tick = self.next_tick();
+        let best = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.base == base && same_base(&e.scenario, scenario))
+            .max_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)?;
+        let entry = self.entries.get_mut(&best)?;
+        let dirty = block_delta(&entry.scenario, scenario);
+        if dirty.len() > max_dirty {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(WarmPrior {
+            traced: entry.solved.traced.clone(),
+            dirty,
+        })
+    }
+
+    /// Stores a solve, evicting the least recently used entry if the
+    /// cache is full. A no-op when the capacity is zero.
+    pub fn insert(&mut self, key: u64, base: u64, scenario: Scenario, solved: Solved) {
+        if self.cap == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        self.entries.insert(
+            key,
+            Entry {
+                base,
+                scenario,
+                solved,
+                last_used: tick,
+            },
+        );
+        while self.entries.len() > self.cap {
+            // Oldest tick loses; ties are impossible (ticks are unique).
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{base_key, scenario_key};
+    use clockroute_cli::scenario::parse;
+
+    fn scenario(block_x: u32) -> Scenario {
+        parse(&format!(
+            "die 10mm 10mm\ngrid 20 20\nblock hard {block_x} 2 {} 4\nnet comb name=a src=0,0 dst=19,19\n",
+            block_x + 2
+        ))
+        .unwrap()
+    }
+
+    fn solved(tag: &str) -> Solved {
+        Solved {
+            report: tag.to_owned(),
+            ..Solved::default()
+        }
+    }
+
+    fn report_of(cache: &mut ResultCache, s: &Scenario) -> Option<String> {
+        cache.lookup(scenario_key(s), s).map(|v| v.report)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        let (s1, s2, s3) = (scenario(2), scenario(5), scenario(8));
+        for (s, tag) in [(&s1, "one"), (&s2, "two")] {
+            cache.insert(scenario_key(s), base_key(s), s.clone(), solved(tag));
+        }
+        // Touch s1 so s2 becomes the eviction victim.
+        assert_eq!(report_of(&mut cache, &s1).as_deref(), Some("one"));
+        cache.insert(scenario_key(&s3), base_key(&s3), s3.clone(), solved("three"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(report_of(&mut cache, &s2).is_none(), "s2 evicted");
+        assert!(report_of(&mut cache, &s1).is_some());
+        assert!(report_of(&mut cache, &s3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        let s = scenario(2);
+        cache.insert(scenario_key(&s), base_key(&s), s.clone(), solved("x"));
+        assert!(cache.is_empty());
+        assert!(report_of(&mut cache, &s).is_none());
+    }
+
+    #[test]
+    fn warm_candidate_requires_matching_base() {
+        let mut cache = ResultCache::new(4);
+        let s1 = scenario(2);
+        cache.insert(scenario_key(&s1), base_key(&s1), s1.clone(), solved("one"));
+        // Same base, moved block: warm candidate with a bounded delta.
+        let s2 = scenario(5);
+        let warm = cache.find_warm(base_key(&s2), &s2, 1024).unwrap();
+        assert!(!warm.dirty.is_empty());
+        assert!(cache.find_warm(base_key(&s2), &s2, 1).is_none(), "delta cap");
+        // Different nets: no candidate despite sharing the die.
+        let s3 = parse(
+            "die 10mm 10mm\ngrid 20 20\nblock hard 2 2 4 4\nnet comb name=zz src=0,0 dst=19,19\n",
+        )
+        .unwrap();
+        assert!(cache.find_warm(base_key(&s3), &s3, 1024).is_none());
+    }
+
+    #[test]
+    fn collision_degrades_to_miss() {
+        let mut cache = ResultCache::new(4);
+        let s1 = scenario(2);
+        let s2 = scenario(5);
+        // Deliberately file s1's solve under s2's key.
+        cache.insert(scenario_key(&s2), base_key(&s1), s1, solved("wrong"));
+        assert!(
+            report_of(&mut cache, &s2).is_none(),
+            "structural verification rejects the colliding entry"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! `clockroute-service` — a long-running routing service around the
+//! deterministic planner.
+//!
+//! The `crserve` binary answers line-oriented JSON requests (stdio or
+//! TCP): each `route` request carries a `.cr` scenario, and the
+//! response embeds exactly the per-net report a cold `crplan --quiet`
+//! run would print. Three request paths produce that report:
+//!
+//! * **hit** — the scenario's canonical hash ([`keys`]) matches a
+//!   cached solve byte-for-byte; no planning happens.
+//! * **warm** — same die/grid/tech/nets as a cached solve but a small
+//!   blockage delta; only nets whose search footprints intersect the
+//!   delta are re-routed ([`clockroute_plan::Planner::plan_warm`]).
+//! * **cold** — a full solve under the service's admission budget.
+//!
+//! All three are byte-identical by construction and by test. Admission
+//! control ([`admission`]) bounds concurrent solves and scenario size,
+//! answering `busy` instead of queueing unboundedly; a panicking solve
+//! (fault injection included) costs one request, never the process.
+//!
+//! See DESIGN.md §12 for the protocol grammar, the canonical-hash
+//! contract, and the warm-start soundness argument.
+
+pub mod admission;
+pub mod cache;
+pub mod keys;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, Rejection};
+pub use cache::{ResultCache, Solved};
+pub use keys::{base_key, block_delta, scenario_key};
+pub use server::{Service, ServiceConfig};

@@ -1,0 +1,460 @@
+//! The `crserve` wire protocol: line-oriented JSON (JSONL).
+//!
+//! Every request is one line holding one *flat* JSON object (string,
+//! number, boolean or null values only — nesting is rejected, which
+//! keeps the hand-rolled parser small and the grammar in DESIGN.md §12
+//! honest). Every response is one line of JSON produced through
+//! [`clockroute_core::telemetry::json_string`], so the whole
+//! conversation satisfies `validate_jsonl`.
+//!
+//! ```text
+//! → {"id":"r1","op":"route","scenario":"die 10mm 10mm\ngrid 20 20\n..."}
+//! ← {"id":"r1","status":"ok","cache":"cold","routed":1,"failed":0,"degraded":0,"report":"a: ...\n"}
+//! → {"id":"r2","op":"ping"}
+//! ← {"id":"r2","status":"ok","pong":true}
+//! ```
+//!
+//! The workspace deliberately ships no JSON dependency; this module and
+//! the telemetry validator are the only JSON code, and both are tested
+//! against each other.
+
+use clockroute_core::telemetry::json_string;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar JSON value (the only kind requests may carry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (unescaped).
+    Str(String),
+    /// A number, kept as f64.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// What to do.
+    pub op: Op,
+}
+
+/// Request operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Solve (or answer from cache) the given `.cr` scenario text.
+    Route {
+        /// Scenario file contents.
+        scenario: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Dump the service's aggregated telemetry counters and gauges.
+    Stats,
+    /// Stop accepting requests and exit cleanly.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the first syntax or schema
+/// violation. The caller wraps it in a `malformed` response; the
+/// connection survives.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_flat_object(line)?;
+    let id = match fields.get("id") {
+        None | Some(JsonValue::Null) => None,
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        Some(_) => return Err("`id` must be a string or null".to_owned()),
+    };
+    let op = match fields.get("op") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        Some(_) => return Err("`op` must be a string".to_owned()),
+        None => return Err("missing `op`".to_owned()),
+    };
+    let op = match op {
+        "route" => match fields.get("scenario") {
+            Some(JsonValue::Str(s)) => Op::Route {
+                scenario: s.clone(),
+            },
+            Some(_) => return Err("`scenario` must be a string".to_owned()),
+            None => return Err("route needs a `scenario`".to_owned()),
+        },
+        "ping" => Op::Ping,
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok(Request { id, op })
+}
+
+/// Decodes one flat JSON object (e.g. a `route` response) into its
+/// field map. Public so clients — and the crate's own end-to-end tests
+/// — can read responses without a JSON dependency. Fails on nested
+/// values; of the response family only `stats` nests.
+pub fn parse_flat(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    parse_flat_object(line)
+}
+
+/// Parses a single flat JSON object into a field map.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate field `{key}`"));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                _ => return Err(format!("expected ',' or '}}' at byte {}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            _ => Err(format!(
+                "expected '{}' at byte {}",
+                want as char,
+                self.pos.saturating_sub(1)
+            )),
+        }
+    }
+
+    fn scalar(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'{') | Some(b'[') => {
+                Err(format!("nested values are not allowed (byte {})", self.pos))
+            }
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not supported; the `.cr`
+                        // format is ASCII anyway.
+                        out.push(
+                            char::from_u32(hex)
+                                .ok_or_else(|| format!("bad codepoint \\u{hex:04x}"))?,
+                        );
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos))
+                }
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input
+                    // is a &str, so continuation bytes are valid.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("bad UTF-8 at byte {start}"))?;
+                    out.push_str(chunk);
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// The response `id` field: the request's id, or `null` when the
+/// request was too mangled to carry one.
+fn id_field(id: Option<&str>) -> String {
+    match id {
+        Some(id) => json_string(id),
+        None => "null".to_owned(),
+    }
+}
+
+/// Successful route response. `report` is byte-identical to
+/// `crplan --quiet` stdout for the same scenario; `cache` is `cold`,
+/// `hit` or `warm`.
+pub fn route_ok(
+    id: Option<&str>,
+    cache: &str,
+    routed: usize,
+    failed: usize,
+    degraded: usize,
+    report: &str,
+) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"cache\":{},\"routed\":{routed},\"failed\":{failed},\"degraded\":{degraded},\"report\":{}}}",
+        id_field(id),
+        json_string(cache),
+        json_string(report),
+    )
+}
+
+/// Admission rejection.
+pub fn busy(id: Option<&str>, reason: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"busy\",\"reason\":{}}}",
+        id_field(id),
+        json_string(reason),
+    )
+}
+
+/// Scenario or internal error; the connection stays up.
+pub fn error(id: Option<&str>, message: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"error\",\"error\":{}}}",
+        id_field(id),
+        json_string(message),
+    )
+}
+
+/// Unparseable request line.
+pub fn malformed(message: &str) -> String {
+    format!(
+        "{{\"id\":null,\"status\":\"malformed\",\"error\":{}}}",
+        json_string(message),
+    )
+}
+
+/// Ping response.
+pub fn pong(id: Option<&str>) -> String {
+    format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", id_field(id))
+}
+
+/// Stats response: one nested object of counters and gauges, compact
+/// (single-line) unlike `MetricsRecorder::to_json`, because JSONL
+/// responses must stay one line.
+pub fn stats(id: Option<&str>, counters: &[(String, u64)], gauges: &[(String, u64)]) -> String {
+    let mut out = format!("{{\"id\":{},\"status\":\"ok\",\"stats\":{{", id_field(id));
+    let mut first = true;
+    for (name, value) in counters.iter().chain(gauges) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}:{value}", json_string(name));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Shutdown acknowledgement.
+pub fn bye(id: Option<&str>) -> String {
+    format!("{{\"id\":{},\"status\":\"ok\",\"bye\":true}}", id_field(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockroute_core::telemetry::{validate_json, validate_jsonl};
+
+    #[test]
+    fn parses_route_request() {
+        let r = parse_request(
+            r#"{"id":"r1","op":"route","scenario":"die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id.as_deref(), Some("r1"));
+        match r.op {
+            Op::Route { scenario } => {
+                assert!(scenario.starts_with("die 1mm 1mm\ngrid 4 4\n"));
+                assert!(scenario.ends_with('\n'), "\\n escapes decoded");
+            }
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(
+            parse_request(r#"{"op":"ping"}"#).unwrap(),
+            Request {
+                id: None,
+                op: Op::Ping
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{ "id" : "s" , "op" : "stats" }"#).unwrap().op,
+            Op::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"id":null,"op":"shutdown"}"#).unwrap(),
+            Request {
+                id: None,
+                op: Op::Shutdown
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (line, needle) in [
+            ("", "expected '{'"),
+            ("{", "expected"),
+            ("not json", "expected '{'"),
+            (r#"{"op":"route"}"#, "scenario"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"id":7,"op":"ping"}"#, "`id` must be"),
+            (r#"{"op":42}"#, "`op` must be"),
+            (r#"{"op":"ping","op":"ping"}"#, "duplicate"),
+            (r#"{"op":{"nested":true}}"#, "nested"),
+            (r#"{"op":["a"]}"#, "nested"),
+            (r#"{"op":"ping"} extra"#, "trailing"),
+            (r#"{"op":"ping","n":1e999}"#, "bad number"),
+            (r#"{"op":"ping""#, "expected"),
+            ("{\"op\":\"pi\nng\"}", "control byte"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "line {line:?}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        let r = parse_request(r#"{"id":"ému A\t","op":"ping"}"#).unwrap();
+        assert_eq!(r.id.as_deref(), Some("ému A\t"));
+    }
+
+    #[test]
+    fn responses_are_valid_single_line_json() {
+        let all = [
+            route_ok(Some("r1"), "cold", 3, 0, 1, "a: 1 cycles\nb: FAILED\n"),
+            busy(Some("r2"), "too many requests in flight (limit 4)"),
+            error(None, "line 3: unknown directive `blok`"),
+            malformed("expected '{' at byte 0"),
+            pong(Some("p")),
+            stats(
+                Some("s"),
+                &[("service.hits".to_owned(), 3)],
+                &[("service.cache.len".to_owned(), 2)],
+            ),
+            bye(None),
+        ];
+        for response in &all {
+            assert!(!response.contains('\n'), "multiline: {response}");
+            validate_json(response).unwrap_or_else(|e| panic!("{response}: {e}"));
+        }
+        let transcript = all.join("\n");
+        validate_jsonl(&transcript).unwrap();
+    }
+
+    #[test]
+    fn responses_echo_ids_or_null() {
+        assert!(route_ok(None, "hit", 1, 0, 0, "x\n").starts_with("{\"id\":null,"));
+        assert!(pong(Some("a\"b")).starts_with("{\"id\":\"a\\\"b\","));
+    }
+}

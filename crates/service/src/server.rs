@@ -1,0 +1,441 @@
+//! The routing service: request dispatch, cache orchestration, and the
+//! stdio / TCP front-ends.
+//!
+//! This is the **only** module in the crate that spawns threads (crlint
+//! CR004 enforces that); everything request-scoped funnels through
+//! [`Service::handle_line`], which is plain sequential code so the
+//! stdio and TCP front-ends — and the tests — exercise exactly the same
+//! path.
+//!
+//! The response contract (asserted by the crate's property tests): for
+//! a given scenario, the `route` response is byte-identical whether it
+//! was computed cold, answered from the exact-match cache, or
+//! warm-started from a near-miss entry — and identical to what a
+//! freshly spawned `crplan --quiet` prints for the same file.
+
+use crate::admission::{Admission, RequestTimer};
+use crate::cache::{ResultCache, Solved, WarmPrior};
+use crate::keys::{base_key, scenario_key};
+use crate::protocol::{self, Op, Request};
+use clockroute_cli::{report, scenario};
+use clockroute_core::{MetricsRecorder, Telemetry};
+use clockroute_elmore::GateLibrary;
+use clockroute_grid::GridGraph;
+use clockroute_plan::{Planner, SharedTelemetry, TracedPlan};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+/// Tunables for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads per solve (plan output is identical for any
+    /// value).
+    pub jobs: usize,
+    /// Result cache capacity in scenarios (0 disables caching).
+    pub cache_cap: usize,
+    /// Per-net search deadline in milliseconds (`None` = unlimited).
+    /// Server-global so that the budget — which shapes degraded
+    /// results — is part of the cache key's implicit context.
+    pub budget_ms: Option<u64>,
+    /// Largest accepted scenario, in nets.
+    pub max_nets: usize,
+    /// Concurrent solve limit; excess requests get `busy`.
+    pub max_inflight: usize,
+    /// Whether near-miss warm-starting is enabled.
+    pub warm: bool,
+    /// Largest blockage delta (in grid points) eligible for
+    /// warm-starting; larger deltas solve cold.
+    pub warm_max_dirty: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            jobs: 1,
+            cache_cap: 64,
+            budget_ms: None,
+            max_nets: 512,
+            max_inflight: 4,
+            warm: true,
+            warm_max_dirty: 4096,
+        }
+    }
+}
+
+/// How a `route` request was answered — reported in the response's
+/// `cache` field and mirrored by the `service.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachePath {
+    Hit,
+    Warm,
+    Cold,
+}
+
+impl CachePath {
+    fn label(self) -> &'static str {
+        match self {
+            CachePath::Hit => "hit",
+            CachePath::Warm => "warm",
+            CachePath::Cold => "cold",
+        }
+    }
+}
+
+/// A long-running routing service. Shared-state layout: the cache
+/// behind one mutex (held only for lookups and inserts, never across a
+/// solve), admission as lock-free atomics, telemetry in a shared
+/// recorder. `&Service` is `Sync`, so one instance serves any number
+/// of connection threads.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    cache: Mutex<ResultCache>,
+    admission: Admission,
+    metrics: Arc<MetricsRecorder>,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    /// A fresh service with an empty cache.
+    pub fn new(config: ServiceConfig) -> Service {
+        let admission = Admission::new(config.max_inflight, config.max_nets, config.budget_ms);
+        Service {
+            cache: Mutex::new(ResultCache::new(config.cache_cap)),
+            admission,
+            metrics: Arc::new(MetricsRecorder::new()),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// The aggregated telemetry recorder (service counters plus every
+    /// solve's planner counters, replayed shard by shard).
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.metrics
+    }
+
+    /// `true` once a `shutdown` request has been accepted.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn cache(&self) -> MutexGuard<'_, ResultCache> {
+        // A solve panic can never poison this mutex (solves run outside
+        // the critical section, under catch_unwind), but recover anyway
+        // rather than add an unwrap to a crate that promises to stay up.
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Handles one request line and returns the one-line JSON response.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.metrics.counter("service.requests", 1);
+        let request = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.counter("service.malformed", 1);
+                return protocol::malformed(&e);
+            }
+        };
+        let Request { id, op } = request;
+        let id = id.as_deref();
+        match op {
+            Op::Ping => protocol::pong(id),
+            Op::Stats => {
+                self.metrics
+                    .gauge_max("service.cache.len", self.cache().len() as u64);
+                protocol::stats(id, &self.metrics.counters(), &self.metrics.gauges())
+            }
+            Op::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                protocol::bye(id)
+            }
+            Op::Route { scenario } => self.route(id, &scenario),
+        }
+    }
+
+    fn route(&self, id: Option<&str>, text: &str) -> String {
+        let timer = RequestTimer::start();
+        let parsed = match scenario::parse(text) {
+            Ok(s) => s,
+            Err(e) => {
+                self.metrics.counter("service.errors", 1);
+                return protocol::error(id, &format!("scenario: {e}"));
+            }
+        };
+        let permit = match self.admission.try_admit(parsed.nets.len()) {
+            Ok(p) => p,
+            Err(rejection) => {
+                self.metrics.counter("service.rejects", 1);
+                return protocol::busy(id, &rejection.reason());
+            }
+        };
+
+        let key = scenario_key(&parsed);
+        let base = base_key(&parsed);
+        let (solved, path) = {
+            let mut cache = self.cache();
+            match cache.lookup(key, &parsed) {
+                Some(solved) => (Some(solved), CachePath::Hit),
+                None => {
+                    let prior = if self.config.warm {
+                        cache.find_warm(base, &parsed, self.config.warm_max_dirty)
+                    } else {
+                        None
+                    };
+                    let path = if prior.is_some() {
+                        CachePath::Warm
+                    } else {
+                        CachePath::Cold
+                    };
+                    drop(cache); // never hold the lock across a solve
+                    match self.solve(&parsed, prior) {
+                        Ok(traced) => (Some(self.render(traced)), path),
+                        Err(message) => {
+                            self.metrics.counter("service.errors", 1);
+                            return protocol::error(id, &message);
+                        }
+                    }
+                }
+            }
+        };
+        drop(permit);
+        // `solved` is always `Some` here; written this way so the error
+        // return above can live inside the match.
+        let Some(solved) = solved else {
+            return protocol::error(id, "internal: no result");
+        };
+
+        match path {
+            CachePath::Hit => self.metrics.counter("service.hits", 1),
+            CachePath::Warm => {
+                self.metrics.counter("service.misses", 1);
+                self.metrics.counter("service.warm_reuse", 1);
+            }
+            CachePath::Cold => self.metrics.counter("service.misses", 1),
+        }
+        if path != CachePath::Hit {
+            let mut cache = self.cache();
+            let before = cache.evictions();
+            cache.insert(key, base, parsed, solved.clone());
+            let evicted = cache.evictions() - before;
+            let len = cache.len() as u64;
+            drop(cache);
+            if evicted > 0 {
+                self.metrics.counter("service.evictions", evicted);
+            }
+            self.metrics.gauge_max("service.cache.len", len);
+        }
+        self.metrics
+            .span_ns("service.request.ns", timer.elapsed_ns());
+        protocol::route_ok(
+            id,
+            path.label(),
+            solved.routed,
+            solved.failed,
+            solved.degraded,
+            &solved.report,
+        )
+    }
+
+    /// Runs the planner (cold or warm-started) under `catch_unwind`, so
+    /// a panicking solve (e.g. an armed failpoint) costs one request,
+    /// not the service.
+    fn solve(
+        &self,
+        parsed: &scenario::Scenario,
+        prior: Option<WarmPrior>,
+    ) -> Result<TracedPlan, String> {
+        let shard = Arc::new(MetricsRecorder::new());
+        let shard_for_solve = shard.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (gw, gh) = parsed.grid;
+            let graph = GridGraph::from_floorplan(&parsed.floorplan, gw, gh);
+            let planner = Planner::new(graph, parsed.tech, GateLibrary::paper_library())
+                .reserve_routes(parsed.reserve)
+                .budget(self.admission.budget())
+                .jobs(self.config.jobs)
+                .telemetry(SharedTelemetry::new(shard_for_solve));
+            match prior {
+                Some(w) => planner.plan_warm(&parsed.nets, &w.traced, &w.dirty),
+                None => planner.plan_traced(&parsed.nets),
+            }
+        }));
+        shard.replay_into(&*self.metrics);
+        outcome.map_err(|panic| {
+            let what = panic
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            format!("internal: solve panicked: {what}")
+        })
+    }
+
+    fn render(&self, traced: TracedPlan) -> Solved {
+        let plan = traced.plan();
+        Solved {
+            report: report::plan_report(plan),
+            routed: plan.routed().count(),
+            failed: plan.failed().count(),
+            degraded: plan.degraded().count(),
+            traced,
+        }
+    }
+
+    /// Serves one line-oriented connection (stdio or a TCP stream)
+    /// until EOF or shutdown. Blank lines are ignored; every request
+    /// line gets exactly one response line, flushed immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/write errors on the underlying streams.
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            if self.is_shut_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop: one thread per connection, non-blocking accept so a
+    /// `shutdown` request on any connection stops the listener promptly.
+    /// Returns once shutdown is observed and all connections finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal `accept` errors (per-connection I/O errors only
+    /// end that connection).
+    pub fn serve_listener(&self, listener: &TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        thread::scope(|scope| {
+            loop {
+                if self.is_shut_down() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        scope.spawn(move || {
+                            if let Ok(write_half) = stream.try_clone() {
+                                // Connection errors end the connection,
+                                // never the service.
+                                let _ = self.serve(BufReader::new(stream), write_half);
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockroute_core::telemetry::validate_json;
+
+    const SCENARIO: &str =
+        "die 10mm 10mm\\ngrid 20 20\\nblock hard 8 8 11 11\\nnet comb name=a src=0,0 dst=19,19\\nnet reg name=b src=0,10 dst=19,10 period=2000\\n";
+
+    fn route_line(id: &str, scenario: &str) -> String {
+        format!("{{\"id\":\"{id}\",\"op\":\"route\",\"scenario\":\"{scenario}\"}}")
+    }
+
+    #[test]
+    fn cold_then_hit_same_bytes() {
+        let service = Service::new(ServiceConfig::default());
+        let cold = service.handle_line(&route_line("c", SCENARIO));
+        let hit = service.handle_line(&route_line("c", SCENARIO));
+        assert!(cold.contains("\"cache\":\"cold\""), "{cold}");
+        assert!(hit.contains("\"cache\":\"hit\""), "{hit}");
+        assert_eq!(
+            cold.replace("\"cache\":\"cold\"", ""),
+            hit.replace("\"cache\":\"hit\"", ""),
+            "identical apart from the cache label"
+        );
+        assert_eq!(service.metrics().counter_value("service.hits"), 1);
+        assert_eq!(service.metrics().counter_value("service.misses"), 1);
+    }
+
+    #[test]
+    fn whitespace_variant_is_a_cache_hit() {
+        let service = Service::new(ServiceConfig::default());
+        let a = service.handle_line(&route_line("a", SCENARIO));
+        let noisy = SCENARIO.replace("\\n", "   # note\\r\\n");
+        let b = service.handle_line(&route_line("a", &noisy));
+        assert!(a.contains("\"cache\":\"cold\""));
+        assert!(b.contains("\"cache\":\"hit\""), "{b}");
+    }
+
+    #[test]
+    fn malformed_and_bad_scenarios_get_error_responses() {
+        let service = Service::new(ServiceConfig::default());
+        let r = service.handle_line("{oops");
+        assert!(r.contains("\"status\":\"malformed\""), "{r}");
+        validate_json(&r).unwrap();
+        let r = service.handle_line(&route_line("x", "die 1mm 1mm\\nnope\\n"));
+        assert!(r.contains("\"status\":\"error\""), "{r}");
+        assert!(r.contains("scenario: line 2"), "{r}");
+        assert_eq!(service.metrics().counter_value("service.malformed"), 1);
+        assert_eq!(service.metrics().counter_value("service.errors"), 1);
+    }
+
+    #[test]
+    fn net_cap_rejects_with_busy() {
+        let config = ServiceConfig {
+            max_nets: 1,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(config);
+        let r = service.handle_line(&route_line("big", SCENARIO));
+        assert!(r.contains("\"status\":\"busy\""), "{r}");
+        assert!(r.contains("2 nets, limit 1"), "{r}");
+        assert_eq!(service.metrics().counter_value("service.rejects"), 1);
+    }
+
+    #[test]
+    fn control_requests_work() {
+        let service = Service::new(ServiceConfig::default());
+        assert!(service.handle_line("{\"id\":\"p\",\"op\":\"ping\"}").contains("\"pong\":true"));
+        let stats = service.handle_line("{\"op\":\"stats\"}");
+        assert!(stats.contains("service.requests"), "{stats}");
+        validate_json(&stats).unwrap();
+        assert!(!service.is_shut_down());
+        let bye = service.handle_line("{\"op\":\"shutdown\"}");
+        assert!(bye.contains("\"bye\":true"));
+        assert!(service.is_shut_down());
+    }
+
+    #[test]
+    fn serve_answers_each_line_and_stops_on_shutdown() {
+        let service = Service::new(ServiceConfig::default());
+        let input = "{\"op\":\"ping\"}\n\n{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n";
+        let mut out = Vec::new();
+        service.serve(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "post-shutdown line unanswered: {text}");
+        assert!(lines[0].contains("pong"));
+        assert!(lines[1].contains("bye"));
+    }
+}

@@ -14,4 +14,7 @@ cargo test --workspace --release -q
 # Differential fuzz suite against the exhaustive oracles (fixed seeds,
 # so a failure here reproduces exactly; see tests/differential.rs).
 cargo test --release -q --test differential
+# Service smoke: one crserve session through every answer path, JSONL
+# validation, and the exit-code contract (see DESIGN.md §12).
+sh scripts/serve_smoke.sh
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Smoke test for crserve: drives one stdio session through every answer
+# path (cold miss, exact-match cache hit, malformed line, budget
+# rejection), checks the exit-code contract, and validates every
+# response line through the same JSON grammar the telemetry export
+# uses (`crserve --validate-jsonl`). Run from the repo root; the
+# in-depth byte-identity assertions live in
+# crates/service/tests/service_e2e.rs — this script is the fast
+# shell-level gate wired into scripts/check.sh.
+set -eu
+
+cargo build --release -q -p clockroute-service
+BIN=target/release/crserve
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# Two-net scenario; literal \n stay escaped so they land inside the
+# JSON string for the parser to decode.
+SCEN='die 25mm 25mm\ngrid 12 12\nblock hard 4 4 6 6\nnet comb name=a src=0,0 dst=11,11\nnet reg name=b src=0,6 dst=11,6 period=2000\n'
+
+{
+    printf '%s\n' '{"id":"p","op":"ping"}'
+    printf '{"id":"r1","op":"route","scenario":"%s"}\n' "$SCEN"
+    printf '{"id":"r2","op":"route","scenario":"%s"}\n' "$SCEN"
+    printf '%s\n' 'this is not json'
+    printf '%s\n' '{"id":"s","op":"stats"}'
+    printf '%s\n' '{"id":"q","op":"shutdown"}'
+} > "$tmp/session.jsonl"
+
+"$BIN" --quiet --metrics "$tmp/metrics.json" \
+    < "$tmp/session.jsonl" > "$tmp/out.jsonl" \
+    || fail "clean session exited non-zero"
+
+[ "$(wc -l < "$tmp/out.jsonl")" -eq 6 ] || fail "expected 6 response lines"
+"$BIN" --validate-jsonl < "$tmp/out.jsonl" || fail "responses are not valid JSONL"
+# The metrics export is one pretty-printed object; joined onto a
+# single line it is a one-line JSONL document.
+tr -d '\n' < "$tmp/metrics.json" | "$BIN" --validate-jsonl \
+    || fail "metrics file is not valid JSON"
+
+grep -q '"pong"' "$tmp/out.jsonl" || fail "missing pong response"
+grep -q '"cache":"cold"' "$tmp/out.jsonl" || fail "missing cold-path response"
+grep -q '"cache":"hit"' "$tmp/out.jsonl" || fail "replay did not hit the cache"
+grep -q '"status":"malformed"' "$tmp/out.jsonl" || fail "malformed line not reported"
+grep -q '"service.hits":1' "$tmp/out.jsonl" || fail "stats did not count the hit"
+grep -q '"bye":true' "$tmp/out.jsonl" || fail "missing shutdown acknowledgement"
+
+# Budget rejection: a 2-net scenario against --max-nets 1 must answer
+# busy (and keep serving) rather than queue or die.
+{
+    printf '{"id":"r","op":"route","scenario":"%s"}\n' "$SCEN"
+    printf '%s\n' '{"id":"q","op":"shutdown"}'
+} > "$tmp/busy.jsonl"
+"$BIN" --quiet --max-nets 1 < "$tmp/busy.jsonl" > "$tmp/busy_out.jsonl" \
+    || fail "busy session exited non-zero"
+grep -q '"status":"busy"' "$tmp/busy_out.jsonl" || fail "over-limit request not rejected busy"
+"$BIN" --validate-jsonl < "$tmp/busy_out.jsonl" || fail "busy responses are not valid JSONL"
+
+# Exit-code contract: unknown flags and unwritable metrics paths are
+# usage errors (2), detected before any request is served.
+if "$BIN" --definitely-not-a-flag < /dev/null > /dev/null 2>&1; then
+    fail "unknown flag accepted"
+fi
+"$BIN" --definitely-not-a-flag < /dev/null > /dev/null 2>&1 || [ $? -eq 2 ] \
+    || fail "unknown flag should exit 2"
+"$BIN" --metrics "$tmp/no/such/dir/m.json" < /dev/null > /dev/null 2>&1 || [ $? -eq 2 ] \
+    || fail "unwritable metrics path should exit 2"
+
+echo "serve_smoke: OK"

@@ -10,8 +10,15 @@
 //!
 //! Usage: `cargo run --release -p clockroute-bench --bin servebench [max_grid]`
 //! (default 100; pass 200 to add the paper-sized grid).
+//!
+//! Besides the table, each run appends one JSONL record per grid to
+//! `BENCH_serve.json` at the workspace root — cold/hit/warm latencies
+//! plus the snapshot recovery time — so future PRs can diff service
+//! performance as a trajectory, and one `serve.retry` record pinning
+//! the deterministic client backoff schedule.
 
-use clockroute_service::{Service, ServiceConfig};
+use clockroute_service::{Admission, RetryPolicy, Service, ServiceConfig};
+use std::io::Write;
 use std::time::Instant;
 
 /// A scenario with `nets` short registered nets alternating between the
@@ -77,6 +84,81 @@ fn timed(service: &Service, line: &str, path: &str, reference: &str) -> f64 {
     seconds
 }
 
+/// Appends one JSONL record to `BENCH_serve.json` at the workspace
+/// root. Best-effort: a read-only checkout costs the trajectory entry,
+/// not the bench run.
+fn append_trajectory(record: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{record}"));
+    if let Err(e) = appended {
+        eprintln!("warning: cannot append to BENCH_serve.json: {e}");
+    }
+}
+
+/// Populates a state directory with the solve for `line`, restarts a
+/// service on it, and returns how long recovery (verified replay +
+/// compaction) took. Asserts the recovered entry answers as a hit with
+/// the reference bytes.
+fn timed_recovery(line: &str, reference: &str, tag: &str) -> f64 {
+    let dir = std::env::temp_dir().join(format!("servebench-state-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        state: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let first = Service::new(config.clone());
+    first.handle_line(line);
+    drop(first); // "crash": only the fsynced append log survives
+
+    // crlint-allow: CR003 bench harness measures wall-clock by design; timings are reported, never byte-compared
+    let start = Instant::now();
+    let recovered = Service::new(config);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.metrics().counter_value("service.persist.recovered"),
+        1,
+        "snapshot replay lost the entry"
+    );
+    let _ = timed(&recovered, line, "hit", reference);
+    let _ = std::fs::remove_dir_all(&dir);
+    seconds
+}
+
+/// Walks the deterministic client retry policy against a saturated
+/// admission gate (the in-flight "solve" completes after three
+/// rejections), returning the busy hint, the attempts taken, and the
+/// full delay schedule. No clock involved: the schedule is a pure
+/// function of the seed, which is what makes it a trajectory record
+/// worth diffing.
+fn retry_walk() -> (u64, u32, Vec<u64>) {
+    let gate = Admission::new(1, 64, Some(50));
+    let mut held = Some(gate.try_admit(1).expect("free slot"));
+    let policy = RetryPolicy::new(0xC10C);
+    let mut attempts = 0u32;
+    let mut hint = 0u64;
+    let mut delays = Vec::new();
+    loop {
+        match gate.try_admit(1) {
+            Ok(_permit) => return (hint, attempts, delays),
+            Err(rejection) => {
+                hint = rejection.retry_after_ms().expect("busy is transient");
+                let delay = policy
+                    .backoff_ms(attempts, Some(hint))
+                    .expect("schedule long enough for three rejections");
+                delays.push(delay);
+                attempts += 1;
+                if attempts == 3 {
+                    held.take(); // the in-flight solve finishes
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let max_grid: u32 = std::env::args()
         .nth(1)
@@ -92,8 +174,8 @@ fn main() {
          cold solve before timing is reported."
     );
     println!();
-    println!("| grid | nets | cold s | hit s | warm s | hit speedup | warm speedup |");
-    println!("|------|------|--------|-------|--------|-------------|--------------|");
+    println!("| grid | nets | cold s | hit s | warm s | recovery s | hit speedup | warm speedup |");
+    println!("|------|------|--------|-------|--------|------------|-------------|--------------|");
 
     for &(grid, nets) in [(60u32, 8u32), (100, 10), (200, 10)]
         .iter()
@@ -115,16 +197,40 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         let warm = timed(&service, &line_b, "warm", &ref_b);
 
+        let recovery = timed_recovery(&line_a, &ref_a, &format!("g{grid}"));
+
         let hit_speedup = cold / hit;
         let warm_speedup = cold / warm;
         println!(
-            "| {grid}×{grid} | {nets} | {cold:.4} | {hit:.6} | {warm:.4} | {hit_speedup:.0}× | {warm_speedup:.2}× |"
+            "| {grid}×{grid} | {nets} | {cold:.4} | {hit:.6} | {warm:.4} | {recovery:.4} | {hit_speedup:.0}× | {warm_speedup:.2}× |"
         );
         assert!(
             hit_speedup >= 10.0,
             "cache hit must be ≥10× faster than cold (got {hit_speedup:.1}×)"
         );
+        assert!(
+            recovery < cold,
+            "replaying a verified snapshot ({recovery:.4}s) must beat re-solving ({cold:.4}s)"
+        );
+        append_trajectory(&format!(
+            "{{\"bench\":\"serve\",\"grid\":{grid},\"nets\":{nets},\"cold_s\":{cold:.6},\
+             \"hit_s\":{hit:.6},\"warm_s\":{warm:.6},\"recovery_s\":{recovery:.6}}}"
+        ));
     }
+
+    let (hint, attempts, delays) = retry_walk();
+    let delays_json: Vec<String> = delays.iter().map(u64::to_string).collect();
+    println!();
+    println!(
+        "Client backoff (seed 0xC10C, server hint {hint} ms): {attempts} busy \
+         rejections, delays {delays:?} ms — deterministic, so this schedule \
+         is pinned in the trajectory record."
+    );
+    append_trajectory(&format!(
+        "{{\"bench\":\"serve.retry\",\"hint_ms\":{hint},\"attempts\":{attempts},\
+         \"delays_ms\":[{}]}}",
+        delays_json.join(",")
+    ));
 
     println!();
     println!(

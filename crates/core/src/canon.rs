@@ -104,8 +104,10 @@ impl CanonHasher {
 
 /// splitmix64 finalizer: a cheap bijective mixer with full avalanche,
 /// so [`combine_unordered`]'s commutative sum still depends on every
-/// bit of every element hash.
-fn mix64(mut x: u64) -> u64 {
+/// bit of every element hash. Public because it is also the workspace's
+/// deterministic jitter source (seeded retry backoff in the service
+/// crate) — one audited mixer instead of several ad-hoc ones.
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

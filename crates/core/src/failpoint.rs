@@ -24,7 +24,14 @@
 //! ```
 //!
 //! `@N` fires exactly once, on the N-th hit; `@N+` fires on the N-th hit
-//! and every hit after it (sticky). Actions: `panic`, `budget`, `noroute`.
+//! and every hit after it (sticky). Actions: `panic`, `budget`,
+//! `noroute`, `ioerr`, `short`.
+//!
+//! The I/O actions (`ioerr`, `short`) exist for the service layer's
+//! fault sites (`serve::read`, `serve::write`, `serve::persist`,
+//! `serve::fsync`): `ioerr` makes the site behave as if the underlying
+//! syscall returned an `io::Error`, `short` as if it transferred fewer
+//! bytes than asked (a torn read or write). Search sites ignore them.
 //!
 //! When nothing is armed the per-hit cost is a thread-local boolean load,
 //! so production callers pay essentially nothing.
@@ -40,6 +47,12 @@ pub enum FailAction {
     BudgetExhausted,
     /// Behave as if the search proved infeasibility.
     NoRoute,
+    /// At an I/O site: behave as if the operation failed with an
+    /// `io::Error` (injected, deterministic).
+    IoError,
+    /// At an I/O site: transfer fewer bytes than requested — a short
+    /// read (torn frame) or a short write (torn record).
+    ShortIo,
 }
 
 #[derive(Debug, Clone)]
@@ -158,6 +171,8 @@ fn parse_clause(clause: &str) -> Result<(String, FailAction, u64, bool), String>
         "panic" => FailAction::Panic,
         "budget" => FailAction::BudgetExhausted,
         "noroute" => FailAction::NoRoute,
+        "ioerr" => FailAction::IoError,
+        "short" => FailAction::ShortIo,
         other => return Err(format!("unknown failpoint action `{other}`")),
     };
     let (count, sticky) = match count.strip_suffix('+') {
@@ -289,6 +304,16 @@ mod tests {
         assert!(arm_from_spec("a=panic").unwrap_err().contains("@N"));
         assert!(arm_from_spec("a=explode@1").unwrap_err().contains("action"));
         assert!(arm_from_spec("a=panic@zero").unwrap_err().contains("count"));
+        disarm_all();
+    }
+
+    #[test]
+    fn io_actions_parse_and_fire() {
+        disarm_all();
+        arm_from_spec("serve::read=short@1,serve::persist=ioerr@2").unwrap();
+        assert_eq!(hit("serve::read"), Some(FailAction::ShortIo));
+        assert_eq!(hit("serve::persist"), None);
+        assert_eq!(hit("serve::persist"), Some(FailAction::IoError));
         disarm_all();
     }
 

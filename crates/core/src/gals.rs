@@ -203,7 +203,8 @@ fn solve(
                 Some(FailAction::Panic) => panic!("failpoint gals::pop: forced panic"),
                 Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
                 Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
-                None => {}
+                // I/O actions only apply at `serve::*` sites; inert here.
+                Some(FailAction::IoError | FailAction::ShortIo) | None => {}
             }
             stats.budget_charges += 1;
             stats.arena_steps = arena.len() as u64;

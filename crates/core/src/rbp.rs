@@ -265,7 +265,8 @@ impl<'a> RbpSpec<'a> {
                     Some(FailAction::Panic) => panic!("failpoint rbp::pop: forced panic"),
                     Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
                     Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
-                    None => {}
+                    // I/O actions only apply at `serve::*` sites; inert here.
+                    Some(FailAction::IoError | FailAction::ShortIo) | None => {}
                 }
                 stats.budget_charges += 1;
                 stats.arena_steps = arena.len() as u64;

@@ -322,6 +322,14 @@ impl GateLibrary {
         &self.names[id.index()]
     }
 
+    /// The id for a raw gate index, if it belongs to this library.
+    /// The checked inverse of [`GateId::index`], for decoders that
+    /// reconstruct labels from untrusted bytes (e.g. the service's
+    /// cache snapshots) and must not panic on a bad index.
+    pub fn gate_id(&self, index: usize) -> Option<GateId> {
+        (index < self.gates.len()).then_some(GateId(index as u16))
+    }
+
     /// Iterates over the buffer library `B`.
     pub fn buffers(&self) -> impl Iterator<Item = GateId> + '_ {
         self.buffers.iter().copied()

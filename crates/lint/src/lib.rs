@@ -13,6 +13,7 @@
 //! | CR004 | threads confined to the planner; no `static mut` | PR 2 Send/Sync audit |
 //! | CR005 | search queue loops are budget-cancellable | PR 2 promptness fix |
 //! | CR006 | report/serialization modules use ordered collections | PR 3 `--jobs` byte-identity |
+//! | CR007 | service reads untrusted streams only through the bounded frame reader | PR 6 crash-safety |
 //!
 //! Dependency-free by design (it gates the build that would build its
 //! dependencies). The binary is `crlint`; the library entry points are

@@ -10,8 +10,8 @@ use crate::scan::FileCtx;
 use crate::{Finding, Severity};
 
 /// All rule IDs, in report order.
-pub const RULE_IDS: [&str; 7] = [
-    "CR000", "CR001", "CR002", "CR003", "CR004", "CR005", "CR006",
+pub const RULE_IDS: [&str; 8] = [
+    "CR000", "CR001", "CR002", "CR003", "CR004", "CR005", "CR006", "CR007",
 ];
 
 /// Crates whose non-test code must be panic-free (`unwrap`/`expect`):
@@ -60,7 +60,7 @@ const CR005_FILES: [&str; 4] = [
 /// `--jobs`: unordered collections are banned outright (not just their
 /// iteration — a `HashMap` that is only probed today becomes one that
 /// is iterated tomorrow).
-const CR006_FILES: [&str; 11] = [
+const CR006_FILES: [&str; 13] = [
     "crates/grid/src/render.rs",
     "crates/core/src/telemetry.rs",
     "crates/core/src/result.rs",
@@ -72,7 +72,14 @@ const CR006_FILES: [&str; 11] = [
     "crates/service/src/cache.rs",
     "crates/service/src/keys.rs",
     "crates/service/src/server.rs",
+    "crates/service/src/persist.rs",
+    "crates/service/src/frame.rs",
 ];
+
+/// The one file allowed to read raw bytes off an untrusted stream: the
+/// bounded frame reader itself, whose whole job is to impose the
+/// length and time bounds that CR007 demands of everyone else.
+const CR007_EXEMPT_FILES: [&str; 1] = ["crates/service/src/frame.rs"];
 
 /// Runs every rule over one file.
 pub fn check_file(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -82,6 +89,7 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Finding>) {
     cr004_threads(ctx, out);
     cr005_uncharged_loops(ctx, out);
     cr006_unordered_collections(ctx, out);
+    cr007_unbounded_reads(ctx, out);
 }
 
 fn finding(ctx: &FileCtx, rule: &str, line: u32, message: String) -> Finding {
@@ -378,5 +386,47 @@ fn cr006_unordered_collections(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+}
+
+/// CR007 — unbounded reads of untrusted streams in the service crate.
+/// The denial-of-service audit: `BufRead::read_line`, `read_to_end`,
+/// `read_to_string` and `BufRead::lines` buffer until the *peer*
+/// decides to stop, so one hostile connection can exhaust memory or
+/// pin a drain forever. Every network- or stdin-facing read in
+/// `crates/service` must go through `frame::FrameReader`, which
+/// enforces the configured line bound and surfaces read timeouts as
+/// idle polls.
+fn cr007_unbounded_reads(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.rel.starts_with("crates/service/src/")
+        || CR007_EXEMPT_FILES.contains(&ctx.rel.as_str())
+    {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if !matches!(
+            name,
+            "read_to_end" | "read_to_string" | "read_line" | "lines"
+        ) {
+            continue;
+        }
+        // Method call (`.lines(`) or UFCS (`Read::read_to_string(`);
+        // a bare local fn sharing the name is out of scope.
+        let dotted = i >= 1 && ctx.sym(i - 1, '.');
+        let pathed = i >= 2 && ctx.path_sep(i - 2);
+        if !ctx.sym(i + 1, '(') || !(dotted || pathed) || ctx.in_test(ctx.line_of(i)) {
+            continue;
+        }
+        out.push(finding(
+            ctx,
+            "CR007",
+            ctx.line_of(i),
+            format!(
+                "`{name}(` reads an untrusted stream with no length bound; \
+                 go through `frame::FrameReader` (the audited read seam) or \
+                 suppress with a proof the source is trusted and finite"
+            ),
+        ));
     }
 }

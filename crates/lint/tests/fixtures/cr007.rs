@@ -1,0 +1,46 @@
+// Fixture: CR007 — unbounded reads of untrusted streams.
+// BAD (line 4): BufRead::lines buffers until the peer stops.
+fn pump(reader: impl std::io::BufRead, sink: &mut Vec<String>) {
+    for line in reader.lines() {
+        if let Ok(line) = line {
+            sink.push(line);
+        }
+    }
+}
+
+// BAD (line 13): read_line grows the buffer at the peer's pleasure.
+fn one(reader: &mut impl std::io::BufRead, buf: &mut String) {
+    let _ = reader.read_line(buf);
+}
+
+// BAD (line 19): UFCS form of read_to_string is the same hole.
+fn slurp(buf: &mut String) {
+    let mut src = std::io::empty();
+    let _ = std::io::Read::read_to_string(&mut src, buf);
+}
+
+// GOOD: a local function merely *named* lines is out of scope.
+fn lines() -> usize {
+    0
+}
+fn count() -> usize {
+    lines()
+}
+
+// GOOD: a suppression with a proof is honoured.
+fn trusted(buf: &mut String) {
+    let mut src = std::io::empty();
+    // crlint-allow: CR007 operator-piped stdin in a one-shot mode, not a serving socket
+    let _ = std::io::Read::read_to_string(&mut src, buf);
+}
+
+#[cfg(test)]
+mod tests {
+    // GOOD: tests may slurp; they own both ends of the stream.
+    #[test]
+    fn slurps() {
+        let mut buf = String::new();
+        let _ = std::io::Read::read_to_string(&mut std::io::empty(), &mut buf);
+        assert!(buf.is_empty());
+    }
+}

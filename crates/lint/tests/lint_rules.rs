@@ -1,4 +1,4 @@
-//! Fixture-based rule tests: every rule CR000–CR006 must fire on its
+//! Fixture-based rule tests: every rule CR000–CR007 must fire on its
 //! known-bad snippet at the documented file:line, and stay silent on
 //! the good patterns embedded in the same fixtures.
 //!
@@ -128,6 +128,26 @@ fn cr006_fires_on_unordered_collections_in_report_modules() {
     assert_eq!(got.len(), 3, "{got:?}");
     // A non-report module may use HashMap (e.g. the reference oracles).
     assert!(run("cr006.rs", "crates/core/src/reference.rs").is_empty());
+}
+
+#[test]
+fn cr007_fires_on_unbounded_service_reads() {
+    let got = run("cr007.rs", "crates/service/src/server.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR007".to_string(), 4),  // BufRead::lines
+            ("CR007".to_string(), 13), // read_line
+            ("CR007".to_string(), 19), // UFCS read_to_string
+        ],
+        "{got:?}"
+    );
+    // The bounded reader itself is the exemption.
+    assert!(run("cr007.rs", "crates/service/src/frame.rs").is_empty());
+    // Outside the service crate the rule is out of scope.
+    assert!(run("cr007.rs", "crates/cli/src/lib.rs").is_empty());
+    // Integration tests of the service crate are test scope by path.
+    assert!(run("cr007.rs", "crates/service/tests/x.rs").is_empty());
 }
 
 #[test]

@@ -333,6 +333,45 @@ impl TracedPlan {
     pub fn footprints(&self) -> &[Option<TouchedRegion>] {
         &self.footprints
     }
+
+    /// Reassembles a traced plan from decoded parts — the inverse of
+    /// `plan().results()` + [`footprints`](Self::footprints), for the
+    /// service's cache-snapshot loader.
+    ///
+    /// Enforces the structural invariants every planner-built value
+    /// satisfies, so a decoder cannot smuggle in a state the warm-start
+    /// path ([`Planner::plan_warm`]) was never designed to see:
+    /// footprints must be parallel to results, and a `Some` footprint
+    /// is only legal on an undegraded success (degraded rungs and
+    /// failures read unbounded grid state and always carry `None`).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn from_parts(
+        results: Vec<NetResult>,
+        footprints: Vec<Option<TouchedRegion>>,
+    ) -> Result<TracedPlan, String> {
+        if results.len() != footprints.len() {
+            return Err(format!(
+                "footprints ({}) are not parallel to results ({})",
+                footprints.len(),
+                results.len()
+            ));
+        }
+        for (r, fp) in results.iter().zip(&footprints) {
+            if fp.is_some() && (r.path.is_none() || r.degradation != Degradation::None) {
+                return Err(format!(
+                    "net `{}` carries a footprint but is not an undegraded success",
+                    r.name
+                ));
+            }
+        }
+        Ok(TracedPlan {
+            plan: Plan { results },
+            footprints,
+        })
+    }
 }
 
 /// A telemetry sink shared between the planner and its worker threads.
@@ -882,7 +921,8 @@ impl Planner {
                     })
                 }
                 Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
-                None => {}
+                // I/O actions only apply at `serve::*` sites; inert here.
+                Some(FailAction::IoError | FailAction::ShortIo) | None => {}
             }
             self.route_net_on(graph, net, telemetry)
         }));

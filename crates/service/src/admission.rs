@@ -15,6 +15,10 @@ use clockroute_core::SearchBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Fallback per-solve estimate when no `--budget-ms` is configured,
+/// used only to derive `retry_after_ms` hints.
+const DEFAULT_SOLVE_MS: u64 = 25;
+
 /// Why a request was turned away at the door.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rejection {
@@ -22,6 +26,9 @@ pub enum Rejection {
     Busy {
         /// The configured in-flight ceiling.
         limit: usize,
+        /// Deterministic client back-off hint (see
+        /// [`Rejection::retry_after_ms`]).
+        retry_after_ms: u64,
     },
     /// The scenario declares more nets than the service accepts.
     TooLarge {
@@ -36,12 +43,26 @@ impl Rejection {
     /// Human-readable reason, used verbatim in `busy` responses.
     pub fn reason(&self) -> String {
         match self {
-            Rejection::Busy { limit } => {
+            Rejection::Busy { limit, .. } => {
                 format!("too many requests in flight (limit {limit})")
             }
             Rejection::TooLarge { nets, limit } => {
                 format!("scenario has {nets} nets, limit {limit}")
             }
+        }
+    }
+
+    /// When the client should try again, in milliseconds — `Some` only
+    /// for transient rejections ([`Rejection::Busy`]); a net-cap
+    /// rejection is permanent and carries no hint. The value is a pure
+    /// function of configured state (the per-net search budget, or a
+    /// fixed fallback, as the worst-case time for one in-flight slot
+    /// to free), so identical rejections always hint identically —
+    /// tests pin exact bytes.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Rejection::Busy { retry_after_ms, .. } => Some(*retry_after_ms),
+            Rejection::TooLarge { .. } => None,
         }
     }
 }
@@ -88,6 +109,7 @@ impl Admission {
             if current >= self.max_inflight {
                 return Err(Rejection::Busy {
                     limit: self.max_inflight,
+                    retry_after_ms: self.budget_ms.unwrap_or(DEFAULT_SOLVE_MS).max(1),
                 });
             }
             match self.inflight.compare_exchange_weak(
@@ -172,7 +194,13 @@ mod tests {
         let a = gate.try_admit(1).unwrap();
         let b = gate.try_admit(1).unwrap();
         let err = gate.try_admit(1).unwrap_err();
-        assert_eq!(err, Rejection::Busy { limit: 2 });
+        assert_eq!(
+            err,
+            Rejection::Busy {
+                limit: 2,
+                retry_after_ms: 25
+            }
+        );
         assert!(err.reason().contains("limit 2"));
         drop(a);
         let c = gate.try_admit(1).unwrap();
@@ -185,6 +213,21 @@ mod tests {
     fn budget_reflects_configuration() {
         assert!(Admission::new(1, 1, None).budget().is_unlimited());
         assert!(!Admission::new(1, 1, Some(5)).budget().is_unlimited());
+    }
+
+    #[test]
+    fn retry_hint_tracks_the_budget_and_is_absent_for_permanent_rejects() {
+        let gate = Admission::new(1, 10, Some(300));
+        let _held = gate.try_admit(1).unwrap();
+        let busy = gate.try_admit(1).unwrap_err();
+        assert_eq!(busy.retry_after_ms(), Some(300));
+        let too_large = gate.try_admit(11).unwrap_err();
+        assert_eq!(too_large.retry_after_ms(), None, "no point retrying");
+        // Unbudgeted services fall back to a fixed, still-deterministic
+        // hint.
+        let gate = Admission::new(1, 10, None);
+        let _held = gate.try_admit(1).unwrap();
+        assert_eq!(gate.try_admit(1).unwrap_err().retry_after_ms(), Some(25));
     }
 
     #[test]

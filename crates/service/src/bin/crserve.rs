@@ -1,9 +1,10 @@
 //! `crserve` — the long-running routing service.
 //!
 //! ```text
-//! usage: crserve [--tcp <addr>] [--cache-cap <n>] [--jobs <n>] [--budget-ms <n>]
-//!                [--max-nets <n>] [--max-inflight <n>] [--warm-max-dirty <n>]
-//!                [--no-warm] [--metrics <file>] [--quiet]
+//! usage: crserve [--tcp <addr>] [--state <dir>] [--cache-cap <n>] [--jobs <n>]
+//!                [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>]
+//!                [--warm-max-dirty <n>] [--max-line <bytes>] [--no-warm]
+//!                [--metrics <file>] [--quiet]
 //! ```
 //!
 //! Without `--tcp`, the service reads JSONL requests from stdin and
@@ -13,6 +14,13 @@
 //! concurrent connections; a `shutdown` request on any connection stops
 //! the listener. The bound address is printed to stderr as
 //! `listening on <addr>` so callers binding port 0 can discover it.
+//!
+//! `--state <dir>` makes the result cache crash-consistent: every solve
+//! is appended to a checksummed snapshot log in `dir` and replayed on
+//! the next start (corrupt or torn records are verified away, never
+//! served). SIGINT and SIGTERM drain gracefully — stop accepting,
+//! finish in-flight requests, compact the snapshot, exit 0 — so a
+//! supervisor restart never loses the warm cache.
 //!
 //! `--metrics <file>` writes the aggregated telemetry (the `service.*`
 //! counters plus every solve's planner counters) as JSON on exit.
@@ -27,15 +35,15 @@
 //! usage or I/O setup errors.
 
 use clockroute_core::failpoint;
-use clockroute_service::{Service, ServiceConfig};
+use clockroute_service::{install_signal_handlers, Service, ServiceConfig};
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: crserve [--tcp <addr>] [--cache-cap <n>] [--jobs <n>] \
-                     [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>] \
-                     [--warm-max-dirty <n>] [--no-warm] [--metrics <file>] [--quiet] \
-                     [--validate-jsonl]";
+const USAGE: &str = "usage: crserve [--tcp <addr>] [--state <dir>] [--cache-cap <n>] \
+                     [--jobs <n>] [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>] \
+                     [--warm-max-dirty <n>] [--max-line <bytes>] [--no-warm] \
+                     [--metrics <file>] [--quiet] [--validate-jsonl]";
 
 struct Options {
     tcp: Option<String>,
@@ -71,6 +79,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--tcp" => opts.tcp = Some(value("--tcp")?),
+            "--state" => {
+                opts.config.state = Some(std::path::PathBuf::from(value("--state")?));
+            }
             "--metrics" => opts.metrics = Some(value("--metrics")?),
             "--quiet" => opts.quiet = true,
             "--validate-jsonl" => opts.validate = true,
@@ -113,6 +124,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--warm-max-dirty needs an integer")?;
             }
+            "--max-line" => {
+                opts.config.max_line = value("--max-line")?
+                    .parse()
+                    .map_err(|_| "--max-line needs a byte count")?;
+                if opts.config.max_line == 0 {
+                    return Err("--max-line must be at least 1".to_owned());
+                }
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -130,6 +149,7 @@ fn main() -> ExitCode {
     };
     if opts.validate {
         let mut text = String::new();
+        // crlint-allow: CR007 one-shot validator mode reading operator-piped stdin, not a serving socket
         if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text) {
             eprintln!("error: cannot read stdin: {e}");
             return ExitCode::from(2);
@@ -159,6 +179,9 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    // Signals drain instead of kill: serve loops poll the flag and
+    // return cleanly, then the snapshot below runs.
+    install_signal_handlers();
     let service = Service::new(opts.config.clone());
     let served = match &opts.tcp {
         Some(addr) => {
@@ -183,6 +206,12 @@ fn main() -> ExitCode {
     };
     if let Err(e) = served {
         eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    // Clean exit (EOF, `shutdown`, or a handled signal): compact the
+    // snapshot so the next start replays one verified record per entry.
+    if let Err(e) = service.snapshot() {
+        eprintln!("error: cannot write snapshot: {e}");
         return ExitCode::from(2);
     }
 

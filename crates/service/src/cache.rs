@@ -137,6 +137,18 @@ impl ResultCache {
         })
     }
 
+    /// Every entry in LRU order (least recently used first), as
+    /// `(key, base, scenario, solved)` — the snapshot writer's view.
+    /// Replaying the list through [`insert`](Self::insert) in order
+    /// reproduces both the contents and the eviction order.
+    pub fn export(&self) -> Vec<(u64, u64, &Scenario, &Solved)> {
+        let mut rows: Vec<(&u64, &Entry)> = self.entries.iter().collect();
+        rows.sort_by_key(|(_, e)| e.last_used);
+        rows.into_iter()
+            .map(|(k, e)| (*k, e.base, &e.scenario, &e.solved))
+            .collect()
+    }
+
     /// Stores a solve, evicting the least recently used entry if the
     /// cache is full. A no-op when the capacity is zero.
     pub fn insert(&mut self, key: u64, base: u64, scenario: Scenario, solved: Solved) {
@@ -237,6 +249,22 @@ mod tests {
         )
         .unwrap();
         assert!(cache.find_warm(base_key(&s3), &s3, 1024).is_none());
+    }
+
+    #[test]
+    fn export_is_in_lru_order() {
+        let mut cache = ResultCache::new(4);
+        let (s1, s2) = (scenario(2), scenario(5));
+        cache.insert(scenario_key(&s1), base_key(&s1), s1.clone(), solved("one"));
+        cache.insert(scenario_key(&s2), base_key(&s2), s2.clone(), solved("two"));
+        // Touch s1: it becomes most recent, so it exports last.
+        assert!(report_of(&mut cache, &s1).is_some());
+        let order: Vec<String> = cache
+            .export()
+            .into_iter()
+            .map(|(_, _, _, v)| v.report.clone())
+            .collect();
+        assert_eq!(order, ["two", "one"]);
     }
 
     #[test]

@@ -15,19 +15,35 @@
 //!
 //! All three are byte-identical by construction and by test. Admission
 //! control ([`admission`]) bounds concurrent solves and scenario size,
-//! answering `busy` instead of queueing unboundedly; a panicking solve
-//! (fault injection included) costs one request, never the process.
+//! answering `busy` (with a deterministic `retry_after_ms` hint)
+//! instead of queueing unboundedly; a panicking solve (fault injection
+//! included) costs one request, never the process.
 //!
-//! See DESIGN.md §12 for the protocol grammar, the canonical-hash
-//! contract, and the warm-start soundness argument.
+//! The service is also **crash-safe**: with a state directory
+//! configured, every insert is appended to a checksummed snapshot log
+//! ([`persist`]) and replayed on restart — each record re-verified
+//! structurally like a cache hit, torn or corrupt records dropped.
+//! Untrusted streams are read only through the bounded [`frame`]
+//! reader (crlint CR007), and SIGINT/SIGTERM drain gracefully
+//! ([`server::install_signal_handlers`]). Clients pace themselves with
+//! the deterministic [`retry`] backoff policy.
+//!
+//! See DESIGN.md §12 for the protocol grammar and the warm-start
+//! soundness argument, and §13 for the persistence format and the
+//! shutdown state machine.
 
 pub mod admission;
 pub mod cache;
+pub mod frame;
 pub mod keys;
+pub mod persist;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 pub use admission::{Admission, Rejection};
 pub use cache::{ResultCache, Solved};
+pub use frame::{Frame, FrameReader};
 pub use keys::{base_key, block_delta, scenario_key};
-pub use server::{Service, ServiceConfig};
+pub use retry::RetryPolicy;
+pub use server::{install_signal_handlers, Service, ServiceConfig};

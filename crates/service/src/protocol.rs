@@ -304,13 +304,22 @@ pub fn route_ok(
     )
 }
 
-/// Admission rejection.
-pub fn busy(id: Option<&str>, reason: &str) -> String {
-    format!(
-        "{{\"id\":{},\"status\":\"busy\",\"reason\":{}}}",
-        id_field(id),
-        json_string(reason),
-    )
+/// Admission rejection. `retry_after_ms` is the deterministic back-off
+/// hint for transient (`busy`) rejections; permanent rejections (net
+/// cap) pass `None` and the field is omitted — retrying cannot help.
+pub fn busy(id: Option<&str>, reason: &str, retry_after_ms: Option<u64>) -> String {
+    match retry_after_ms {
+        Some(ms) => format!(
+            "{{\"id\":{},\"status\":\"busy\",\"reason\":{},\"retry_after_ms\":{ms}}}",
+            id_field(id),
+            json_string(reason),
+        ),
+        None => format!(
+            "{{\"id\":{},\"status\":\"busy\",\"reason\":{}}}",
+            id_field(id),
+            json_string(reason),
+        ),
+    }
 }
 
 /// Scenario or internal error; the connection stays up.
@@ -433,7 +442,8 @@ mod tests {
     fn responses_are_valid_single_line_json() {
         let all = [
             route_ok(Some("r1"), "cold", 3, 0, 1, "a: 1 cycles\nb: FAILED\n"),
-            busy(Some("r2"), "too many requests in flight (limit 4)"),
+            busy(Some("r2"), "too many requests in flight (limit 4)", Some(25)),
+            busy(Some("r3"), "scenario has 9 nets, limit 4", None),
             error(None, "line 3: unknown directive `blok`"),
             malformed("expected '{' at byte 0"),
             pong(Some("p")),
@@ -456,5 +466,13 @@ mod tests {
     fn responses_echo_ids_or_null() {
         assert!(route_ok(None, "hit", 1, 0, 0, "x\n").starts_with("{\"id\":null,"));
         assert!(pong(Some("a\"b")).starts_with("{\"id\":\"a\\\"b\","));
+    }
+
+    #[test]
+    fn busy_carries_the_hint_only_for_transient_rejections() {
+        let transient = busy(Some("t"), "too many requests in flight (limit 2)", Some(300));
+        assert!(transient.ends_with("\"retry_after_ms\":300}"), "{transient}");
+        let permanent = busy(Some("p"), "scenario has 9 nets, limit 4", None);
+        assert!(!permanent.contains("retry_after_ms"), "{permanent}");
     }
 }

@@ -15,16 +15,19 @@
 
 use crate::admission::{Admission, RequestTimer};
 use crate::cache::{ResultCache, Solved, WarmPrior};
+use crate::frame::{self, Frame, FrameReader};
 use crate::keys::{base_key, scenario_key};
+use crate::persist::{self, SnapshotLog};
 use crate::protocol::{self, Op, Request};
 use clockroute_cli::{report, scenario};
 use clockroute_core::{MetricsRecorder, Telemetry};
 use clockroute_elmore::GateLibrary;
 use clockroute_grid::GridGraph;
 use clockroute_plan::{Planner, SharedTelemetry, TracedPlan};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
@@ -51,6 +54,15 @@ pub struct ServiceConfig {
     /// Largest blockage delta (in grid points) eligible for
     /// warm-starting; larger deltas solve cold.
     pub warm_max_dirty: usize,
+    /// Largest accepted request line in bytes; longer lines get one
+    /// `malformed` response and are discarded unbuffered.
+    pub max_line: usize,
+    /// State directory for crash-consistent cache snapshots (`None`
+    /// disables persistence).
+    pub state: Option<PathBuf>,
+    /// Shutdown-poll granularity: TCP reads time out this often so
+    /// idle connections notice a drain within one interval.
+    pub poll_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +75,9 @@ impl Default for ServiceConfig {
             max_inflight: 4,
             warm: true,
             warm_max_dirty: 4096,
+            max_line: 1 << 20,
+            state: None,
+            poll_ms: 50,
         }
     }
 }
@@ -98,18 +113,114 @@ pub struct Service {
     admission: Admission,
     metrics: Arc<MetricsRecorder>,
     shutdown: AtomicBool,
+    snapshot_log: Mutex<Option<SnapshotLog>>,
 }
 
+/// Set by the process signal handlers (SIGINT/SIGTERM); every service
+/// in the process treats it as a shutdown request. An ordinary atomic,
+/// not `static mut`, so the handler is data-race free.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGINT or SIGTERM has been delivered (only ever after
+/// [`install_signal_handlers`] ran).
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Acquire)
+}
+
+/// Routes SIGINT and SIGTERM to a flag ([`signalled`]) instead of the
+/// default kill disposition, turning both into graceful drains. Uses
+/// raw `signal(2)` so the workspace stays dependency-free; the handler
+/// body is a single atomic store, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is only given a handler that performs one atomic
+    // store; installing it cannot fail in a way that leaves the process
+    // worse off than the default disposition.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Non-unix fallback: no signals to install; `shutdown` requests are
+/// the only drain trigger.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
 impl Service {
-    /// A fresh service with an empty cache.
+    /// A fresh service. With [`ServiceConfig::state`] set, the cache is
+    /// rebuilt from the snapshot log in that directory: every record is
+    /// checksum- and structure-verified like a cache hit, corrupt or
+    /// torn records are dropped (counted in `service.persist.dropped`),
+    /// and the surviving set is compacted back to disk before serving
+    /// starts.
     pub fn new(config: ServiceConfig) -> Service {
         let admission = Admission::new(config.max_inflight, config.max_nets, config.budget_ms);
+        let metrics = Arc::new(MetricsRecorder::new());
+        let mut cache = ResultCache::new(config.cache_cap);
+        let snapshot_log = match &config.state {
+            Some(dir) => Self::recover(dir, &mut cache, &metrics),
+            None => None,
+        };
         Service {
-            cache: Mutex::new(ResultCache::new(config.cache_cap)),
+            cache: Mutex::new(cache),
             admission,
-            metrics: Arc::new(MetricsRecorder::new()),
+            metrics,
             shutdown: AtomicBool::new(false),
+            snapshot_log: Mutex::new(snapshot_log),
             config,
+        }
+    }
+
+    /// Replays the snapshot log into `cache`, compacts the survivors,
+    /// and reopens the log for appending. Any persistence failure
+    /// degrades to running without persistence (counted, never fatal):
+    /// a service that promises to stay up must not die over its cache.
+    fn recover(
+        dir: &Path,
+        cache: &mut ResultCache,
+        metrics: &MetricsRecorder,
+    ) -> Option<SnapshotLog> {
+        match persist::load(dir) {
+            Ok((entries, stats)) => {
+                metrics.counter("service.persist.recovered", stats.recovered as u64);
+                metrics.counter("service.persist.dropped", stats.dropped as u64);
+                for e in entries {
+                    // Replay in LRU order: insert order reproduces both
+                    // contents and eviction order, and a smaller cap
+                    // keeps the most recently used survivors.
+                    cache.insert(e.key, e.base, e.scenario, e.solved);
+                }
+                let payloads: Vec<Vec<u8>> = cache
+                    .export()
+                    .into_iter()
+                    .map(|(key, base, scenario, solved)| {
+                        persist::encode_entry(key, base, scenario, solved)
+                    })
+                    .collect();
+                if persist::rewrite(dir, &payloads).is_err() {
+                    metrics.counter("service.persist.errors", 1);
+                }
+                match SnapshotLog::open(dir) {
+                    Ok(log) => Some(log),
+                    Err(_) => {
+                        metrics.counter("service.persist.errors", 1);
+                        None
+                    }
+                }
+            }
+            Err(_) => {
+                metrics.counter("service.persist.errors", 1);
+                None
+            }
         }
     }
 
@@ -119,9 +230,44 @@ impl Service {
         &self.metrics
     }
 
-    /// `true` once a `shutdown` request has been accepted.
+    /// `true` once a `shutdown` request has been accepted or a handled
+    /// signal (SIGINT/SIGTERM) arrived.
     pub fn is_shut_down(&self) -> bool {
-        self.shutdown.load(Ordering::Acquire)
+        self.shutdown.load(Ordering::Acquire) || signalled()
+    }
+
+    /// Compacts the in-memory cache to the state directory (temp file +
+    /// atomic rename), replacing the append log. A no-op without a
+    /// configured state directory. Called on graceful shutdown; safe to
+    /// call at any time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the rewrite; the previous snapshot
+    /// file is untouched when that happens.
+    pub fn snapshot(&self) -> io::Result<()> {
+        let Some(dir) = &self.config.state else {
+            return Ok(());
+        };
+        let payloads: Vec<Vec<u8>> = {
+            let cache = self.cache();
+            cache
+                .export()
+                .into_iter()
+                .map(|(key, base, scenario, solved)| {
+                    persist::encode_entry(key, base, scenario, solved)
+                })
+                .collect()
+        };
+        persist::rewrite(dir, &payloads)?;
+        // The old handle points at the renamed-over inode; reopen so
+        // later appends land in the new file.
+        let mut slot = match self.snapshot_log.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(SnapshotLog::open(dir)?);
+        Ok(())
     }
 
     fn cache(&self) -> MutexGuard<'_, ResultCache> {
@@ -174,7 +320,7 @@ impl Service {
             Ok(p) => p,
             Err(rejection) => {
                 self.metrics.counter("service.rejects", 1);
-                return protocol::busy(id, &rejection.reason());
+                return protocol::busy(id, &rejection.reason(), rejection.retry_after_ms());
             }
         };
 
@@ -222,6 +368,12 @@ impl Service {
             CachePath::Cold => self.metrics.counter("service.misses", 1),
         }
         if path != CachePath::Hit {
+            // Encode before taking either lock: the append payload is a
+            // pure function of the entry, and the cache lock must stay
+            // short.
+            let record = self
+                .persists()
+                .then(|| persist::encode_entry(key, base, &parsed, &solved));
             let mut cache = self.cache();
             let before = cache.evictions();
             cache.insert(key, base, parsed, solved.clone());
@@ -232,6 +384,9 @@ impl Service {
                 self.metrics.counter("service.evictions", evicted);
             }
             self.metrics.gauge_max("service.cache.len", len);
+            if let Some(payload) = record {
+                self.append_record(&payload);
+            }
         }
         self.metrics
             .span_ns("service.request.ns", timer.elapsed_ns());
@@ -280,6 +435,31 @@ impl Service {
         })
     }
 
+    /// `true` when a snapshot log is live (persistence configured and
+    /// healthy).
+    fn persists(&self) -> bool {
+        match self.snapshot_log.lock() {
+            Ok(guard) => guard.is_some(),
+            Err(poisoned) => poisoned.into_inner().is_some(),
+        }
+    }
+
+    /// Appends one encoded entry to the snapshot log. Failures are
+    /// counted (`service.persist.errors`) and otherwise ignored — a
+    /// full disk degrades durability, never availability; the log
+    /// itself rolled back the torn tail.
+    fn append_record(&self, payload: &[u8]) {
+        let mut slot = match self.snapshot_log.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(log) = slot.as_mut() {
+            if log.append(payload).is_err() {
+                self.metrics.counter("service.persist.errors", 1);
+            }
+        }
+    }
+
     fn render(&self, traced: TracedPlan) -> Solved {
         let plan = traced.plan();
         Solved {
@@ -292,31 +472,62 @@ impl Service {
     }
 
     /// Serves one line-oriented connection (stdio or a TCP stream)
-    /// until EOF or shutdown. Blank lines are ignored; every request
+    /// until EOF or shutdown, through the bounded [`FrameReader`] —
+    /// the only sanctioned way to read an untrusted stream in this
+    /// crate (crlint CR007). Blank lines are ignored; every request
     /// line gets exactly one response line, flushed immediately.
+    /// Oversized lines get one `malformed` response and are discarded
+    /// without buffering. A timed-out read (see
+    /// [`ServiceConfig::poll_ms`]) just re-checks the shutdown flag,
+    /// which is how idle connections notice a drain.
     ///
     /// # Errors
     ///
-    /// Propagates read/write errors on the underlying streams.
-    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let response = self.handle_line(&line);
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
-            if self.is_shut_down() {
-                break;
+    /// Propagates read/write errors on the underlying streams (never a
+    /// parse or protocol problem — those are answered in-band).
+    pub fn serve<R: Read, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        let mut frames = FrameReader::new(reader, self.config.max_line);
+        loop {
+            match frames.next_frame()? {
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    frame::write_line(&mut writer, &self.handle_line(&line))?;
+                    if self.is_shut_down() {
+                        return Ok(());
+                    }
+                }
+                Frame::Oversized { limit } => {
+                    self.metrics.counter("service.malformed", 1);
+                    let message = format!("request line exceeds {limit} bytes");
+                    frame::write_line(&mut writer, &protocol::malformed(&message))?;
+                }
+                Frame::Idle => {
+                    if self.is_shut_down() {
+                        return Ok(());
+                    }
+                }
+                Frame::Eof { partial } => {
+                    // A half-written final line (no newline before the
+                    // peer died) still gets its one response; then the
+                    // connection closes cleanly.
+                    if let Some(tail) = partial {
+                        if !tail.trim().is_empty() {
+                            frame::write_line(&mut writer, &self.handle_line(&tail))?;
+                        }
+                    }
+                    return Ok(());
+                }
             }
         }
-        Ok(())
     }
 
     /// Accept loop: one thread per connection, non-blocking accept so a
     /// `shutdown` request on any connection stops the listener promptly.
-    /// Returns once shutdown is observed and all connections finish.
+    /// Connections read with a [`ServiceConfig::poll_ms`] timeout so
+    /// idle ones observe the drain too. Returns once shutdown is
+    /// observed and all connections finish.
     ///
     /// # Errors
     ///
@@ -331,11 +542,17 @@ impl Service {
                 }
                 match listener.accept() {
                     Ok((stream, _addr)) => {
+                        // Best-effort: a connection without a timeout
+                        // still serves, it just cannot notice a drain
+                        // until its next complete frame.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(
+                            self.config.poll_ms.max(1),
+                        )));
                         scope.spawn(move || {
                             if let Ok(write_half) = stream.try_clone() {
                                 // Connection errors end the connection,
                                 // never the service.
-                                let _ = self.serve(BufReader::new(stream), write_half);
+                                let _ = self.serve(stream, write_half);
                             }
                         });
                     }
@@ -424,6 +641,87 @@ mod tests {
         let bye = service.handle_line("{\"op\":\"shutdown\"}");
         assert!(bye.contains("\"bye\":true"));
         assert!(service.is_shut_down());
+    }
+
+    #[test]
+    fn oversized_and_half_written_lines_never_kill_the_loop() {
+        let config = ServiceConfig {
+            max_line: 64,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(config);
+        let long = "x".repeat(200);
+        // Oversized line, a good request, then a final request whose
+        // newline never arrived (peer died mid-write).
+        let input = format!("{long}\n{{\"op\":\"ping\"}}\n{{\"op\":\"ping\"}}");
+        let mut out = Vec::new();
+        service.serve(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"status\":\"malformed\""), "{text}");
+        assert!(lines[0].contains("exceeds 64 bytes"), "{text}");
+        assert!(lines[1].contains("pong"), "{text}");
+        assert!(lines[2].contains("pong"), "half-written tail answered: {text}");
+    }
+
+    #[test]
+    fn state_dir_round_trips_the_cache_across_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "clockroute-server-restart-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            state: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let first = Service::new(config.clone());
+        let cold = first.handle_line(&route_line("r", SCENARIO));
+        assert!(cold.contains("\"cache\":\"cold\""), "{cold}");
+        // No snapshot() call: the per-insert append alone must carry
+        // the entry across the "crash".
+        drop(first);
+        let second = Service::new(config);
+        assert_eq!(
+            second.metrics().counter_value("service.persist.recovered"),
+            1
+        );
+        assert_eq!(second.metrics().counter_value("service.persist.dropped"), 0);
+        let hit = second.handle_line(&route_line("r", SCENARIO));
+        assert!(hit.contains("\"cache\":\"hit\""), "{hit}");
+        assert_eq!(
+            cold.replace("\"cache\":\"cold\"", ""),
+            hit.replace("\"cache\":\"hit\"", ""),
+            "recovered entry answers byte-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "clockroute-server-snapshot-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            state: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(config.clone());
+        service.handle_line(&route_line("r", SCENARIO));
+        service.snapshot().unwrap();
+        // Appends after a snapshot land in the new log generation.
+        let other = SCENARIO.replace("8 8 11 11", "3 3 6 6");
+        service.handle_line(&route_line("r2", &other));
+        drop(service);
+        let reborn = Service::new(config);
+        assert_eq!(
+            reborn.metrics().counter_value("service.persist.recovered"),
+            2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -309,6 +309,144 @@ fn crserve_survives_armed_failpoint_and_keeps_serving() {
 }
 
 #[test]
+fn crserve_pins_malformed_input_behaviour() {
+    // Satellite pins: each malformed shape yields exactly one error
+    // response or a clean close — never a dead loop, never a crash.
+    // 1. Oversized line: one `malformed` response, then service resumes.
+    let over = "x".repeat(4096);
+    let session = format!("{over}\n{{\"op\":\"ping\"}}\n{{\"op\":\"shutdown\"}}\n");
+    let (stdout, ok) = run_session(&["--max-line", "256"], &[], &session);
+    assert!(ok, "oversized line must not kill the service");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("\"status\":\"malformed\""), "{}", lines[0]);
+    assert!(lines[0].contains("exceeds 256 bytes"), "{}", lines[0]);
+    assert!(lines[1].contains("\"pong\":true"), "{}", lines[1]);
+    assert!(lines[2].contains("\"bye\":true"), "{}", lines[2]);
+
+    // 2. Half-written final line (EOF before the newline): answered,
+    // then clean exit.
+    let (stdout, ok) = run_session(&[], &[], "{\"op\":\"ping\"}\n{\"op\":\"ping\"}");
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "half-written tail answered: {stdout}");
+    assert!(lines[1].contains("\"pong\":true"), "{}", lines[1]);
+
+    // 3. EOF mid-escape (the line dies inside a `\` sequence): one
+    // malformed response, clean close.
+    let (stdout, ok) = run_session(&[], &[], "{\"id\":\"x\\");
+    assert!(ok, "EOF mid-escape is a clean close");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "{stdout}");
+    assert!(lines[0].contains("\"status\":\"malformed\""), "{}", lines[0]);
+    validate_jsonl(&stdout).expect("error response is valid JSON");
+}
+
+#[test]
+fn crserve_state_dir_recovers_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("crserve-e2e-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = dir.to_str().expect("utf-8 temp path").to_owned();
+    let text = scenario_text(5, 10);
+
+    // First life: solve cold, exit cleanly on EOF (snapshot on exit).
+    let session = route_line("s", &text) + "\n";
+    let (stdout, ok) = run_session(&["--state", &state], &[], &session);
+    assert!(ok);
+    let first = stdout.lines().next().expect("one response").to_owned();
+    assert!(first.contains("\"cache\":\"cold\""), "{first}");
+    assert!(dir.join("cache.snap").exists(), "snapshot written on exit");
+
+    // Second life: the same request is a verified recovered hit, and
+    // the response bytes are identical apart from the label.
+    let (stdout, ok) = run_session(&["--state", &state], &[], &session);
+    assert!(ok);
+    let second = stdout.lines().next().expect("one response").to_owned();
+    assert!(second.contains("\"cache\":\"hit\""), "recovered: {second}");
+    assert_eq!(normalize(&first), normalize(&second));
+
+    // A corrupted snapshot degrades to a cold solve, never an error.
+    let snap = dir.join("cache.snap");
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("corrupt snapshot");
+    let (stdout, ok) = run_session(&["--state", &state], &[], &session);
+    assert!(ok, "corrupt snapshot must not kill the service");
+    let third = stdout.lines().next().expect("one response").to_owned();
+    assert!(third.contains("\"cache\":\"cold\""), "dropped, re-solved: {third}");
+    assert_eq!(normalize(&first), normalize(&third));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn permanent_rejections_never_hint_a_retry() {
+    let session = [
+        route_line("r", &scenario_text(4, 4)),
+        "{\"op\":\"shutdown\"}".to_owned(),
+    ]
+    .join("\n");
+    let (stdout, ok) = run_session(&["--max-nets", "1"], &[], &session);
+    assert!(ok);
+    assert!(stdout.contains("\"status\":\"busy\""), "{stdout}");
+    assert!(
+        !stdout.contains("retry_after_ms"),
+        "permanent rejection must not hint: {stdout}"
+    );
+}
+
+#[test]
+fn busy_responses_hint_and_the_retry_policy_converges() {
+    use clockroute_service::RetryPolicy;
+    use std::sync::Arc;
+    use std::time::Duration;
+    // One in-flight slot; a background solve holds it while the
+    // foreground retries under the client policy. Whether contention
+    // is actually observed is timing-dependent — the assertions are
+    // that every busy carries a hint and the retry loop converges.
+    let service = Arc::new(Service::new(ServiceConfig {
+        max_inflight: 1,
+        ..ServiceConfig::default()
+    }));
+    let big = "die 24mm 24mm\ngrid 48 48\nblock hard 10 10 20 20\n\
+               net comb name=a src=0,0 dst=47,47\nnet comb name=b src=0,47 dst=47,0\n\
+               net reg name=c src=0,24 dst=47,24 period=4000\n"
+        .to_owned();
+    // Either side can lose the race for the single slot, so both walk
+    // the client policy until admitted.
+    fn retry_until_ok(service: &Service, line: &str) -> String {
+        let policy = RetryPolicy {
+            base_ms: 2,
+            cap_ms: 40,
+            max_attempts: 200,
+            seed: 7,
+        };
+        let mut attempt = 0u32;
+        loop {
+            let got = service.handle_line(line);
+            if !got.contains("\"status\":\"busy\"") {
+                return got;
+            }
+            assert!(got.contains("\"retry_after_ms\":"), "busy without hint: {got}");
+            let delay = policy
+                .backoff_ms(attempt, Some(1))
+                .expect("retry budget exhausted while the server stayed busy");
+            attempt += 1;
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+    }
+    let bg = {
+        let service = Arc::clone(&service);
+        let big = big.clone();
+        std::thread::spawn(move || retry_until_ok(&service, &route_line("bg", &big)))
+    };
+    let converged = retry_until_ok(&service, &route_line("fg", &scenario_text(4, 4)));
+    assert!(converged.contains("\"status\":\"ok\""), "{converged}");
+    let bg = bg.join().expect("background solve");
+    assert!(bg.contains("\"status\":\"ok\""), "{bg}");
+}
+
+#[test]
 fn crserve_rejects_unknown_flags_with_exit_two() {
     let status = crserve()
         .arg("--frobnicate")

@@ -17,4 +17,7 @@ cargo test --release -q --test differential
 # Service smoke: one crserve session through every answer path, JSONL
 # validation, and the exit-code contract (see DESIGN.md §12).
 sh scripts/serve_smoke.sh
+# Chaos smoke: SIGKILL mid-burst + restart on the same --state dir,
+# SIGTERM graceful drain, snapshot corruption (see DESIGN.md §13).
+sh scripts/chaos_smoke.sh
 cargo clippy --all-targets -- -D warnings

@@ -50,6 +50,13 @@ pub trait Telemetry: Sync {
     /// Raises the named gauge to `value` if larger (max-merge, so shard
     /// replay order cannot change the result).
     fn gauge_max(&self, _name: &str, _value: u64) {}
+    /// Sets the named gauge to `value` unconditionally (last-value
+    /// semantics, so the gauge can shrink — cache length after eviction,
+    /// queue depth after drain). Only meaningful from serialized call
+    /// sites: replaying last-value writes from concurrent shards would
+    /// make the result order-dependent, which is why the planner's
+    /// per-net shards stick to [`gauge_max`](Telemetry::gauge_max).
+    fn gauge_set(&self, _name: &str, _value: u64) {}
     /// Records a completed span of `nanos` wall-clock nanoseconds.
     /// Trace-only: never part of the deterministic metrics surface.
     fn span_ns(&self, _name: &str, _nanos: u64) {}
@@ -65,6 +72,9 @@ impl<T: Telemetry + ?Sized> Telemetry for &T {
     }
     fn gauge_max(&self, name: &str, value: u64) {
         (**self).gauge_max(name, value);
+    }
+    fn gauge_set(&self, name: &str, value: u64) {
+        (**self).gauge_set(name, value);
     }
     fn span_ns(&self, name: &str, nanos: u64) {
         (**self).span_ns(name, nanos);
@@ -82,6 +92,9 @@ impl<T: Telemetry + Send + ?Sized> Telemetry for Arc<T> {
     }
     fn gauge_max(&self, name: &str, value: u64) {
         (**self).gauge_max(name, value);
+    }
+    fn gauge_set(&self, name: &str, value: u64) {
+        (**self).gauge_set(name, value);
     }
     fn span_ns(&self, name: &str, nanos: u64) {
         (**self).span_ns(name, nanos);
@@ -143,6 +156,14 @@ impl<'a> TelemetryHandle<'a> {
     pub fn gauge_max(&self, name: &str, value: u64) {
         if let Some(s) = self.sink {
             s.gauge_max(name, value);
+        }
+    }
+
+    /// See [`Telemetry::gauge_set`].
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        if let Some(s) = self.sink {
+            s.gauge_set(name, value);
         }
     }
 
@@ -212,6 +233,7 @@ impl<'a> TelemetryHandle<'a> {
 enum Op {
     Counter(String, u64),
     Gauge(String, u64),
+    GaugeSet(String, u64),
     Span(String, u64),
     Event(String, Vec<(String, OwnedValue)>),
 }
@@ -282,6 +304,7 @@ impl MetricsRecorder {
             match op {
                 Op::Counter(name, delta) => sink.counter(name, *delta),
                 Op::Gauge(name, value) => sink.gauge_max(name, *value),
+                Op::GaugeSet(name, value) => sink.gauge_set(name, *value),
                 Op::Span(name, ns) => sink.span_ns(name, *ns),
                 Op::Event(name, fields) => {
                     let borrowed: Vec<(&str, Value<'_>)> = fields
@@ -402,6 +425,12 @@ impl Telemetry for MetricsRecorder {
         inner.log.push(Op::Gauge(name.to_owned(), value));
     }
 
+    fn gauge_set(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_owned(), value);
+        inner.log.push(Op::GaugeSet(name.to_owned(), value));
+    }
+
     fn span_ns(&self, name: &str, nanos: u64) {
         self.lock().log.push(Op::Span(name.to_owned(), nanos));
     }
@@ -462,6 +491,13 @@ impl<W: Write + Send> Telemetry for TraceWriter<W> {
         ));
     }
 
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.line(&format!(
+            "{{\"kind\":\"gauge_set\",\"name\":{},\"value\":{value}}}",
+            json_string(name)
+        ));
+    }
+
     fn span_ns(&self, name: &str, nanos: u64) {
         self.line(&format!(
             "{{\"kind\":\"span\",\"name\":{},\"ns\":{nanos}}}",
@@ -498,6 +534,10 @@ impl<A: Telemetry, B: Telemetry> Telemetry for Tee<A, B> {
     fn gauge_max(&self, name: &str, value: u64) {
         self.0.gauge_max(name, value);
         self.1.gauge_max(name, value);
+    }
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.0.gauge_set(name, value);
+        self.1.gauge_set(name, value);
     }
     fn span_ns(&self, name: &str, nanos: u64) {
         self.0.span_ns(name, nanos);
@@ -767,6 +807,39 @@ mod tests {
             .collect();
         assert_eq!(kinds, ["counter", "gauge", "span", "event", "counter"]);
         validate_jsonl(&text).unwrap();
+    }
+
+    #[test]
+    fn gauge_set_is_last_value_while_gauge_max_keeps_the_peak() {
+        let rec = MetricsRecorder::new();
+        rec.gauge_set("len", 5);
+        rec.gauge_set("len", 3); // shrink is visible — the whole point
+        rec.gauge_max("len.max", 5);
+        rec.gauge_max("len.max", 3);
+        assert_eq!(rec.gauge_value("len"), 3);
+        assert_eq!(rec.gauge_value("len.max"), 5);
+
+        // A max-merge after a set still raises, a lower one still loses.
+        rec.gauge_max("len", 9);
+        assert_eq!(rec.gauge_value("len"), 9);
+        rec.gauge_set("len", 2);
+        assert_eq!(rec.gauge_value("len"), 2);
+    }
+
+    #[test]
+    fn replay_preserves_gauge_set_ordering() {
+        let shard = MetricsRecorder::new();
+        shard.gauge_set("len", 7);
+        shard.gauge_set("len", 4);
+        let total = MetricsRecorder::new();
+        shard.replay_into(&total);
+        assert_eq!(total.gauge_value("len"), 4, "replay must keep call order");
+
+        let trace = TraceWriter::new(Vec::new());
+        shard.replay_into(&trace);
+        let text = String::from_utf8(trace.into_inner()).unwrap();
+        validate_jsonl(&text).unwrap();
+        assert_eq!(text.matches("\"gauge_set\"").count(), 2);
     }
 
     #[test]

@@ -40,11 +40,15 @@ const CR003_ALLOWED_FILES: [&str; 3] = [
 ];
 
 /// The only places allowed to create threads: the speculative-commit
-/// planner and the service's connection loop (one scoped thread per
-/// TCP connection; each request is still solved by the planner's
-/// audited protocol). Searches must stay single-threaded and
-/// cancellable.
-const CR004_THREAD_PATHS: [&str; 2] = ["crates/plan/src/", "crates/service/src/server.rs"];
+/// planner, the service's connection loop, and the service's bounded
+/// worker pool (which drains accepted connections from a bounded
+/// queue; each request is still solved by the planner's audited
+/// protocol). Searches must stay single-threaded and cancellable.
+const CR004_THREAD_PATHS: [&str; 3] = [
+    "crates/plan/src/",
+    "crates/service/src/server.rs",
+    "crates/service/src/pool.rs",
+];
 
 /// The four label-correcting search modules whose queue loops must be
 /// budget-cancellable (the PR 2 promptness bug: expansion/promotion
@@ -60,7 +64,7 @@ const CR005_FILES: [&str; 4] = [
 /// `--jobs`: unordered collections are banned outright (not just their
 /// iteration — a `HashMap` that is only probed today becomes one that
 /// is iterated tomorrow).
-const CR006_FILES: [&str; 13] = [
+const CR006_FILES: [&str; 15] = [
     "crates/grid/src/render.rs",
     "crates/core/src/telemetry.rs",
     "crates/core/src/result.rs",
@@ -72,6 +76,8 @@ const CR006_FILES: [&str; 13] = [
     "crates/service/src/cache.rs",
     "crates/service/src/keys.rs",
     "crates/service/src/server.rs",
+    "crates/service/src/shard.rs",
+    "crates/service/src/pool.rs",
     "crates/service/src/persist.rs",
     "crates/service/src/frame.rs",
 ];

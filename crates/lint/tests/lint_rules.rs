@@ -98,6 +98,9 @@ fn cr004_fires_on_threads_and_static_mut() {
     assert_eq!(plan, [("CR004".to_string(), 5)], "{plan:?}");
     let server = run("cr004.rs", "crates/service/src/server.rs");
     assert_eq!(server, [("CR004".to_string(), 5)], "{server:?}");
+    // The bounded worker pool is an allowed spawn site too.
+    let pool = run("cr004.rs", "crates/service/src/pool.rs");
+    assert_eq!(pool, [("CR004".to_string(), 5)], "{pool:?}");
     // Other service modules stay thread-free.
     let cache = run("cr004.rs", "crates/service/src/cache.rs");
     assert_eq!(cache.len(), 3, "{cache:?}");

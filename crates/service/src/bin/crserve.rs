@@ -1,8 +1,8 @@
 //! `crserve` — the long-running routing service.
 //!
 //! ```text
-//! usage: crserve [--tcp <addr>] [--state <dir>] [--cache-cap <n>] [--jobs <n>]
-//!                [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>]
+//! usage: crserve [--tcp <addr>] [--state <dir>] [--cache-cap <n>] [--shards <n>]
+//!                [--jobs <n>] [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>]
 //!                [--warm-max-dirty <n>] [--max-line <bytes>] [--no-warm]
 //!                [--metrics <file>] [--quiet]
 //! ```
@@ -10,10 +10,16 @@
 //! Without `--tcp`, the service reads JSONL requests from stdin and
 //! writes JSONL responses to stdout (one response line per request
 //! line, flushed immediately) until EOF or a `shutdown` request. With
-//! `--tcp <addr>` it listens on `addr` instead, serving any number of
-//! concurrent connections; a `shutdown` request on any connection stops
-//! the listener. The bound address is printed to stderr as
-//! `listening on <addr>` so callers binding port 0 can discover it.
+//! `--tcp <addr>` it listens on `addr` instead, serving connections
+//! from a bounded worker pool sized against `--max-inflight` (excess
+//! connections queue, then wait in the accept backlog); a `shutdown`
+//! request on any connection stops the listener. The bound address is
+//! printed to stderr as `listening on <addr>` so callers binding
+//! port 0 can discover it.
+//!
+//! `--shards <n>` partitions the result cache across `n` per-key locks
+//! with single-flight coalescing (0 or default: available
+//! parallelism). Responses are byte-identical for every value.
 //!
 //! `--state <dir>` makes the result cache crash-consistent: every solve
 //! is appended to a checksummed snapshot log in `dir` and replayed on
@@ -41,9 +47,9 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: crserve [--tcp <addr>] [--state <dir>] [--cache-cap <n>] \
-                     [--jobs <n>] [--budget-ms <n>] [--max-nets <n>] [--max-inflight <n>] \
-                     [--warm-max-dirty <n>] [--max-line <bytes>] [--no-warm] \
-                     [--metrics <file>] [--quiet] [--validate-jsonl]";
+                     [--shards <n>] [--jobs <n>] [--budget-ms <n>] [--max-nets <n>] \
+                     [--max-inflight <n>] [--warm-max-dirty <n>] [--max-line <bytes>] \
+                     [--no-warm] [--metrics <file>] [--quiet] [--validate-jsonl]";
 
 struct Options {
     tcp: Option<String>,
@@ -90,6 +96,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.config.cache_cap = value("--cache-cap")?
                     .parse()
                     .map_err(|_| "--cache-cap needs an integer")?;
+            }
+            "--shards" => {
+                opts.config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs an integer (0 = auto)")?;
             }
             "--jobs" => {
                 opts.config.jobs = value("--jobs")?

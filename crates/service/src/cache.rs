@@ -17,6 +17,8 @@ use crate::keys::{block_delta, same_base, same_blocks};
 use clockroute_cli::scenario::Scenario;
 use clockroute_plan::TracedPlan;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything a `route` response needs, as produced by a cold solve.
 /// A cache hit replays these fields verbatim, which is what makes hit
@@ -54,21 +56,32 @@ pub struct WarmPrior {
 }
 
 /// Bounded LRU over canonical scenario keys.
+///
+/// Recency ticks come from a shared atomic clock so several caches —
+/// the per-shard LRUs of [`crate::shard::ShardedCache`] — order their
+/// entries on one global timeline: exports merged across shards sort
+/// identically no matter how the keyspace was partitioned.
 #[derive(Debug)]
 pub struct ResultCache {
     cap: usize,
-    tick: u64,
+    clock: Arc<AtomicU64>,
     entries: BTreeMap<u64, Entry>,
     evictions: u64,
 }
 
 impl ResultCache {
     /// An empty cache holding at most `cap` solves (`cap == 0` disables
-    /// caching entirely).
+    /// caching entirely), with its own private recency clock.
     pub fn new(cap: usize) -> ResultCache {
+        ResultCache::with_clock(cap, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// An empty cache drawing recency ticks from `clock`, shared with
+    /// sibling shards.
+    pub fn with_clock(cap: usize, clock: Arc<AtomicU64>) -> ResultCache {
         ResultCache {
             cap,
-            tick: 0,
+            clock,
             entries: BTreeMap::new(),
             evictions: 0,
         }
@@ -90,8 +103,10 @@ impl ResultCache {
     }
 
     fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+        // Relaxed is enough: ticks only need to be unique and roughly
+        // monotonic per entry touch; entry state itself is guarded by
+        // the shard lock the caller holds.
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Exact lookup: the stored solve for `scenario` if an entry with
@@ -118,14 +133,34 @@ impl ResultCache {
         scenario: &Scenario,
         max_dirty: usize,
     ) -> Option<WarmPrior> {
-        let tick = self.next_tick();
-        let best = self
-            .entries
+        let (key, _) = self.best_warm_candidate(base, scenario)?;
+        self.warm_prior_for(key, scenario, max_dirty)
+    }
+
+    /// Phase one of a (possibly cross-shard) warm search: the most
+    /// recently used entry sharing `scenario`'s base, as
+    /// `(key, last_used)`. Read-only — recency is bumped only when the
+    /// winning candidate is actually taken via
+    /// [`warm_prior_for`](Self::warm_prior_for).
+    pub fn best_warm_candidate(&self, base: u64, scenario: &Scenario) -> Option<(u64, u64)> {
+        self.entries
             .iter()
             .filter(|(_, e)| e.base == base && same_base(&e.scenario, scenario))
             .max_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| *k)?;
-        let entry = self.entries.get_mut(&best)?;
+            .map(|(k, e)| (*k, e.last_used))
+    }
+
+    /// Phase two: the warm prior from entry `key`, if its blockage
+    /// delta stays within `max_dirty` grid points. Bumps recency on
+    /// success.
+    pub fn warm_prior_for(
+        &mut self,
+        key: u64,
+        scenario: &Scenario,
+        max_dirty: usize,
+    ) -> Option<WarmPrior> {
+        let tick = self.next_tick();
+        let entry = self.entries.get_mut(&key)?;
         let dirty = block_delta(&entry.scenario, scenario);
         if dirty.len() > max_dirty {
             return None;
@@ -142,10 +177,21 @@ impl ResultCache {
     /// Replaying the list through [`insert`](Self::insert) in order
     /// reproduces both the contents and the eviction order.
     pub fn export(&self) -> Vec<(u64, u64, &Scenario, &Solved)> {
+        self.export_ticked()
+            .into_iter()
+            .map(|(_, k, b, s, v)| (k, b, s, v))
+            .collect()
+    }
+
+    /// Like [`export`](Self::export) but with each entry's recency tick
+    /// leading the tuple, so rows from several shards can be merged
+    /// into one global LRU order (ticks come from the shared clock and
+    /// are unique across shards).
+    pub fn export_ticked(&self) -> Vec<(u64, u64, u64, &Scenario, &Solved)> {
         let mut rows: Vec<(&u64, &Entry)> = self.entries.iter().collect();
         rows.sort_by_key(|(_, e)| e.last_used);
         rows.into_iter()
-            .map(|(k, e)| (*k, e.base, &e.scenario, &e.solved))
+            .map(|(k, e)| (e.last_used, *k, e.base, &e.scenario, &e.solved))
             .collect()
     }
 

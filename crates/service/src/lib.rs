@@ -12,8 +12,14 @@
 //!   blockage delta; only nets whose search footprints intersect the
 //!   delta are re-routed ([`clockroute_plan::Planner::plan_warm`]).
 //! * **cold** — a full solve under the service's admission budget.
+//! * **coalesced** — a concurrent request for a scenario already being
+//!   solved; single-flight ([`shard`]) blocks it on the leader's solve
+//!   and answers it from the leader's entry once durable.
 //!
-//! All three are byte-identical by construction and by test. Admission
+//! All four are byte-identical by construction and by test, for every
+//! `--shards` value. The cache is sharded across per-key locks
+//! ([`shard::ShardedCache`]); the TCP front-end runs a bounded worker
+//! pool ([`pool`]) instead of a thread per connection. Admission
 //! control ([`admission`]) bounds concurrent solves and scenario size,
 //! answering `busy` (with a deterministic `retry_after_ms` hint)
 //! instead of queueing unboundedly; a panicking solve (fault injection
@@ -29,17 +35,20 @@
 //! the deterministic [`retry`] backoff policy.
 //!
 //! See DESIGN.md §12 for the protocol grammar and the warm-start
-//! soundness argument, and §13 for the persistence format and the
-//! shutdown state machine.
+//! soundness argument, §13 for the persistence format and the shutdown
+//! state machine, and §14 for the sharding, single-flight, and
+//! lock-order story.
 
 pub mod admission;
 pub mod cache;
 pub mod frame;
 pub mod keys;
 pub mod persist;
+pub mod pool;
 pub mod protocol;
 pub mod retry;
 pub mod server;
+pub mod shard;
 
 pub use admission::{Admission, Rejection};
 pub use cache::{ResultCache, Solved};
@@ -47,3 +56,4 @@ pub use frame::{Frame, FrameReader};
 pub use keys::{base_key, block_delta, scenario_key};
 pub use retry::RetryPolicy;
 pub use server::{install_signal_handlers, Service, ServiceConfig};
+pub use shard::{Lookup, ShardedCache};

@@ -10,6 +10,15 @@
 //! of its seed: tests assert exact delay sequences, no wall clock and
 //! no RNG state anywhere.
 //!
+//! Jitter stays **within the step**: each attempt's random spread is
+//! clipped so it can never reach the next attempt's base delay, which
+//! makes every schedule non-decreasing — a client never backs off
+//! *less* after being told no one more time. (An earlier version
+//! jittered by up to a quarter of the step unconditionally, which let
+//! attempt 1's delay land below attempt 0's when the server hint
+//! flattened the early steps; `BENCH_serve.json` pins the corrected
+//! schedule.)
+//!
 //! Used by `servebench`'s request loop and intended for any future
 //! client; the server side never sleeps — it answers `busy`
 //! immediately and lets clients pace themselves.
@@ -46,21 +55,26 @@ impl RetryPolicy {
     ///
     /// `server_hint_ms` is the `retry_after_ms` from the rejecting
     /// `busy` response; the exponential term never goes below it. The
-    /// returned delay is `min(cap, max(hint, base << attempt))` plus
-    /// deterministic jitter of at most a quarter of that value.
+    /// returned delay is the step `min(cap, max(hint, base << attempt))`
+    /// plus deterministic jitter of at most a quarter of the step —
+    /// clipped to the gap before the *next* step, so the schedule is
+    /// non-decreasing in `attempt` for any fixed hint.
     pub fn backoff_ms(&self, attempt: u32, server_hint_ms: Option<u64>) -> Option<u64> {
         if attempt >= self.max_attempts {
             return None;
         }
-        let exponential = self
-            .base_ms
-            .checked_shl(attempt)
-            .unwrap_or(u64::MAX)
-            .max(self.base_ms);
-        let floored = exponential.max(server_hint_ms.unwrap_or(0));
-        let capped = floored.min(self.cap_ms);
-        let jitter = mix64(self.seed ^ u64::from(attempt)) % (capped / 4 + 1);
-        Some(capped + jitter)
+        let step = |a: u32| {
+            let exponential = self.base_ms.checked_shl(a).unwrap_or(u64::MAX).max(self.base_ms);
+            exponential.max(server_hint_ms.unwrap_or(0)).min(self.cap_ms)
+        };
+        let this = step(attempt);
+        let headroom = if attempt + 1 < self.max_attempts {
+            (this / 4).min(step(attempt + 1) - this)
+        } else {
+            this / 4 // final attempt: nothing after it to stay under
+        };
+        let jitter = mix64(self.seed ^ u64::from(attempt)) % (headroom + 1);
+        Some(this + jitter)
     }
 
     /// The full schedule under a constant hint, for logs and tests.
@@ -137,6 +151,37 @@ mod tests {
                 assert!(d >= capped && d <= capped + capped / 4);
             }
         }
+    }
+
+    #[test]
+    fn schedules_are_non_decreasing_for_any_hint() {
+        // Regression: jitter used to span a quarter of the step even
+        // when the hint flattened successive steps, so attempt 1 could
+        // back off less than attempt 0 (the pinned [59, 52, 110] row).
+        for seed in 0..256u64 {
+            let p = RetryPolicy::new(seed);
+            for hint in [None, Some(5), Some(25), Some(50), Some(300), Some(10_000)] {
+                let schedule = p.schedule(hint);
+                for pair in schedule.windows(2) {
+                    assert!(
+                        pair[0] <= pair[1],
+                        "seed {seed} hint {hint:?}: schedule decreases: {schedule:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_servebench_schedule_under_the_busy_hint() {
+        // Exactly the walk servebench records: seed 0xC10C, hint 50 ms
+        // (a saturated 1-slot gate with a 50 ms budget), three busy
+        // rejections. Steps are 50, 50, 100: attempt 0 has zero
+        // headroom (the next step is equal), attempt 1 jitters within
+        // the 50→100 gap, attempt 2 within a quarter of 100.
+        let p = RetryPolicy::new(0xC10C);
+        let delays: Vec<u64> = (0..3).map(|a| p.backoff_ms(a, Some(50)).unwrap()).collect();
+        assert_eq!(delays, [50, 52, 110]);
     }
 
     #[test]

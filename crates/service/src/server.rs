@@ -1,11 +1,17 @@
 //! The routing service: request dispatch, cache orchestration, and the
 //! stdio / TCP front-ends.
 //!
-//! This is the **only** module in the crate that spawns threads (crlint
-//! CR004 enforces that); everything request-scoped funnels through
-//! [`Service::handle_line`], which is plain sequential code so the
-//! stdio and TCP front-ends — and the tests — exercise exactly the same
-//! path.
+//! Threads are created in exactly two modules of this crate — here and
+//! [`crate::pool`] (crlint CR004 enforces that); everything
+//! request-scoped funnels through [`Service::handle_line`], which is
+//! plain sequential code so the stdio and TCP front-ends — and the
+//! tests — exercise exactly the same path. Concurrency composes in
+//! layers (DESIGN.md §14): the bounded worker pool caps connection
+//! threads, [`Admission`] caps concurrent solves, each admitted solve
+//! runs the planner with [`ServiceConfig::jobs`] workers under the
+//! server-global `SearchBudget`, and the sharded single-flight cache
+//! ([`crate::shard::ShardedCache`]) makes duplicate concurrent
+//! requests cost one solve.
 //!
 //! The response contract (asserted by the crate's property tests): for
 //! a given scenario, the `route` response is byte-identical whether it
@@ -14,22 +20,24 @@
 //! freshly spawned `crplan --quiet` prints for the same file.
 
 use crate::admission::{Admission, RequestTimer};
-use crate::cache::{ResultCache, Solved, WarmPrior};
+use crate::cache::{Solved, WarmPrior};
 use crate::frame::{self, Frame, FrameReader};
 use crate::keys::{base_key, scenario_key};
 use crate::persist::{self, SnapshotLog};
+use crate::pool;
 use crate::protocol::{self, Op, Request};
+use crate::shard::{Lookup, ShardedCache};
 use clockroute_cli::{report, scenario};
 use clockroute_core::{MetricsRecorder, Telemetry};
 use clockroute_elmore::GateLibrary;
 use clockroute_grid::GridGraph;
 use clockroute_plan::{Planner, SharedTelemetry, TracedPlan};
 use std::io::{self, Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -57,6 +65,10 @@ pub struct ServiceConfig {
     /// Largest accepted request line in bytes; longer lines get one
     /// `malformed` response and are discarded unbuffered.
     pub max_line: usize,
+    /// Result-cache shard count (0 = auto: available parallelism).
+    /// Responses are byte-identical for every value; sharding only
+    /// changes which lock a key contends on.
+    pub shards: usize,
     /// State directory for crash-consistent cache snapshots (`None`
     /// disables persistence).
     pub state: Option<PathBuf>,
@@ -76,6 +88,7 @@ impl Default for ServiceConfig {
             warm: true,
             warm_max_dirty: 4096,
             max_line: 1 << 20,
+            shards: 0,
             state: None,
             poll_ms: 50,
         }
@@ -87,6 +100,7 @@ impl Default for ServiceConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CachePath {
     Hit,
+    Coalesced,
     Warm,
     Cold,
 }
@@ -95,21 +109,23 @@ impl CachePath {
     fn label(self) -> &'static str {
         match self {
             CachePath::Hit => "hit",
+            CachePath::Coalesced => "coalesced",
             CachePath::Warm => "warm",
             CachePath::Cold => "cold",
         }
     }
 }
 
-/// A long-running routing service. Shared-state layout: the cache
-/// behind one mutex (held only for lookups and inserts, never across a
-/// solve), admission as lock-free atomics, telemetry in a shared
-/// recorder. `&Service` is `Sync`, so one instance serves any number
-/// of connection threads.
+/// A long-running routing service. Shared-state layout: the result
+/// cache sharded across per-key locks with single-flight coalescing
+/// (locks held only for lookups and inserts, never across a solve),
+/// admission as lock-free atomics, telemetry in a shared recorder.
+/// `&Service` is `Sync`, so one instance serves any number of
+/// connection threads.
 #[derive(Debug)]
 pub struct Service {
     config: ServiceConfig,
-    cache: Mutex<ResultCache>,
+    cache: ShardedCache,
     admission: Admission,
     metrics: Arc<MetricsRecorder>,
     shutdown: AtomicBool,
@@ -165,13 +181,18 @@ impl Service {
     pub fn new(config: ServiceConfig) -> Service {
         let admission = Admission::new(config.max_inflight, config.max_nets, config.budget_ms);
         let metrics = Arc::new(MetricsRecorder::new());
-        let mut cache = ResultCache::new(config.cache_cap);
+        let shards = if config.shards == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.shards
+        };
+        let cache = ShardedCache::new(shards, config.cache_cap);
         let snapshot_log = match &config.state {
-            Some(dir) => Self::recover(dir, &mut cache, &metrics),
+            Some(dir) => Self::recover(dir, &cache, &metrics),
             None => None,
         };
         Service {
-            cache: Mutex::new(cache),
+            cache,
             admission,
             metrics,
             shutdown: AtomicBool::new(false),
@@ -180,13 +201,19 @@ impl Service {
         }
     }
 
+    /// How many cache shards this instance runs (resolved from
+    /// [`ServiceConfig::shards`], where 0 means auto).
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
     /// Replays the snapshot log into `cache`, compacts the survivors,
     /// and reopens the log for appending. Any persistence failure
     /// degrades to running without persistence (counted, never fatal):
     /// a service that promises to stay up must not die over its cache.
     fn recover(
         dir: &Path,
-        cache: &mut ResultCache,
+        cache: &ShardedCache,
         metrics: &MetricsRecorder,
     ) -> Option<SnapshotLog> {
         match persist::load(dir) {
@@ -195,15 +222,20 @@ impl Service {
                 metrics.counter("service.persist.dropped", stats.dropped as u64);
                 for e in entries {
                     // Replay in LRU order: insert order reproduces both
-                    // contents and eviction order, and a smaller cap
-                    // keeps the most recently used survivors.
+                    // contents and eviction order, a smaller cap keeps
+                    // the most recently used survivors, and the sharded
+                    // insert routes each key to the shard live traffic
+                    // would use. Duplicate-key records collapse
+                    // last-wins: a later insert replaces the slot, so
+                    // neither `len` nor the eviction count ever counts
+                    // one fingerprint twice.
                     cache.insert(e.key, e.base, e.scenario, e.solved);
                 }
                 let payloads: Vec<Vec<u8>> = cache
                     .export()
                     .into_iter()
                     .map(|(key, base, scenario, solved)| {
-                        persist::encode_entry(key, base, scenario, solved)
+                        persist::encode_entry(key, base, &scenario, &solved)
                     })
                     .collect();
                 if persist::rewrite(dir, &payloads).is_err() {
@@ -249,16 +281,12 @@ impl Service {
         let Some(dir) = &self.config.state else {
             return Ok(());
         };
-        let payloads: Vec<Vec<u8>> = {
-            let cache = self.cache();
-            cache
-                .export()
-                .into_iter()
-                .map(|(key, base, scenario, solved)| {
-                    persist::encode_entry(key, base, scenario, solved)
-                })
-                .collect()
-        };
+        let payloads: Vec<Vec<u8>> = self
+            .cache
+            .export()
+            .into_iter()
+            .map(|(key, base, scenario, solved)| persist::encode_entry(key, base, &scenario, &solved))
+            .collect();
         persist::rewrite(dir, &payloads)?;
         // The old handle points at the renamed-over inode; reopen so
         // later appends land in the new file.
@@ -268,16 +296,6 @@ impl Service {
         };
         *slot = Some(SnapshotLog::open(dir)?);
         Ok(())
-    }
-
-    fn cache(&self) -> MutexGuard<'_, ResultCache> {
-        // A solve panic can never poison this mutex (solves run outside
-        // the critical section, under catch_unwind), but recover anyway
-        // rather than add an unwrap to a crate that promises to stay up.
-        match self.cache.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
     }
 
     /// Handles one request line and returns the one-line JSON response.
@@ -295,8 +313,11 @@ impl Service {
         match op {
             Op::Ping => protocol::pong(id),
             Op::Stats => {
-                self.metrics
-                    .gauge_max("service.cache.len", self.cache().len() as u64);
+                // Last-value, so eviction and compaction shrink are
+                // visible; the high-water mark keeps its own gauge.
+                let len = self.cache.len() as u64;
+                self.metrics.gauge_set("service.cache.len", len);
+                self.metrics.gauge_max("service.cache.len.max", len);
                 protocol::stats(id, &self.metrics.counters(), &self.metrics.gauges())
             }
             Op::Shutdown => {
@@ -326,70 +347,80 @@ impl Service {
 
         let key = scenario_key(&parsed);
         let base = base_key(&parsed);
-        let (solved, path) = {
-            let mut cache = self.cache();
-            match cache.lookup(key, &parsed) {
-                Some(solved) => (Some(solved), CachePath::Hit),
-                None => {
-                    let prior = if self.config.warm {
-                        cache.find_warm(base, &parsed, self.config.warm_max_dirty)
-                    } else {
-                        None
-                    };
-                    let path = if prior.is_some() {
-                        CachePath::Warm
-                    } else {
-                        CachePath::Cold
-                    };
-                    drop(cache); // never hold the lock across a solve
-                    match self.solve(&parsed, prior) {
-                        Ok(traced) => (Some(self.render(traced)), path),
-                        Err(message) => {
-                            self.metrics.counter("service.errors", 1);
-                            return protocol::error(id, &message);
-                        }
+        let (solved, path) = match self.cache.lookup_or_claim(key, &parsed) {
+            Lookup::Hit(solved) => (solved, CachePath::Hit),
+            // A concurrent leader solved this key while we waited; its
+            // entry was inserted and persisted before the slot dropped,
+            // so echoing it keeps "answered ⟹ durable".
+            Lookup::Coalesced(solved) => (solved, CachePath::Coalesced),
+            Lookup::Lead(slot) => {
+                let prior = if self.config.warm {
+                    self.cache
+                        .find_warm(base, &parsed, self.config.warm_max_dirty)
+                } else {
+                    None
+                };
+                let path = if prior.is_some() {
+                    CachePath::Warm
+                } else {
+                    CachePath::Cold
+                };
+                let traced = match self.solve(&parsed, prior) {
+                    Ok(traced) => traced,
+                    Err(message) => {
+                        // `slot` drops here, so a coalesced waiter
+                        // retries as the new leader instead of echoing
+                        // a failure.
+                        self.metrics.counter("service.errors", 1);
+                        return protocol::error(id, &message);
                     }
+                };
+                let solved = self.render(traced);
+                // Encode before the insert: the append payload is a
+                // pure function of the entry, and the shard lock must
+                // stay short.
+                let record = self
+                    .persists()
+                    .then(|| persist::encode_entry(key, base, &parsed, &solved));
+                let (evicted, _) = slot.insert(base, parsed, solved.clone());
+                if evicted > 0 {
+                    self.metrics.counter("service.evictions", evicted);
                 }
+                let len = self.cache.len() as u64;
+                self.metrics.gauge_set("service.cache.len", len);
+                self.metrics.gauge_max("service.cache.len.max", len);
+                if let Some(payload) = record {
+                    self.append_record(&payload);
+                    // The admission permit is still held here: inflight
+                    // accounting must cover the fsync window, or a
+                    // burst could stack unbounded threads inside
+                    // persistence while the gate reads 0.
+                    self.metrics.gauge_max(
+                        "service.persist.inflight",
+                        self.admission.inflight() as u64,
+                    );
+                }
+                // Entry inserted and durable: dropping the slot now
+                // releases every coalesced waiter.
+                drop(slot);
+                (solved, path)
             }
-        };
-        drop(permit);
-        // `solved` is always `Some` here; written this way so the error
-        // return above can live inside the match.
-        let Some(solved) = solved else {
-            return protocol::error(id, "internal: no result");
         };
 
         match path {
             CachePath::Hit => self.metrics.counter("service.hits", 1),
+            CachePath::Coalesced => self.metrics.counter("service.coalesced", 1),
             CachePath::Warm => {
                 self.metrics.counter("service.misses", 1);
                 self.metrics.counter("service.warm_reuse", 1);
             }
             CachePath::Cold => self.metrics.counter("service.misses", 1),
         }
-        if path != CachePath::Hit {
-            // Encode before taking either lock: the append payload is a
-            // pure function of the entry, and the cache lock must stay
-            // short.
-            let record = self
-                .persists()
-                .then(|| persist::encode_entry(key, base, &parsed, &solved));
-            let mut cache = self.cache();
-            let before = cache.evictions();
-            cache.insert(key, base, parsed, solved.clone());
-            let evicted = cache.evictions() - before;
-            let len = cache.len() as u64;
-            drop(cache);
-            if evicted > 0 {
-                self.metrics.counter("service.evictions", evicted);
-            }
-            self.metrics.gauge_max("service.cache.len", len);
-            if let Some(payload) = record {
-                self.append_record(&payload);
-            }
-        }
         self.metrics
             .span_ns("service.request.ns", timer.elapsed_ns());
+        // Held from admission through solve, insert, and the fsynced
+        // append — the whole durability window (DESIGN.md §14).
+        drop(permit);
         protocol::route_ok(
             id,
             path.label(),
@@ -523,11 +554,18 @@ impl Service {
         }
     }
 
-    /// Accept loop: one thread per connection, non-blocking accept so a
-    /// `shutdown` request on any connection stops the listener promptly.
-    /// Connections read with a [`ServiceConfig::poll_ms`] timeout so
-    /// idle ones observe the drain too. Returns once shutdown is
-    /// observed and all connections finish.
+    /// Accept loop: a bounded worker pool (never one thread per
+    /// connection) drains accepted streams from a bounded queue, so
+    /// thread count and queued memory are functions of configuration,
+    /// not offered load. The pool is sized against
+    /// [`ServiceConfig::max_inflight`] — every solve slot can stay busy
+    /// while two spare workers keep control traffic and `busy`
+    /// rejections flowing; connections beyond that wait first in the
+    /// queue, then in the OS accept backlog. Non-blocking accept so a
+    /// `shutdown` request on any connection stops the listener
+    /// promptly; connections read with a [`ServiceConfig::poll_ms`]
+    /// timeout so idle ones observe the drain too. Returns once
+    /// shutdown is observed and all pooled connections finish.
     ///
     /// # Errors
     ///
@@ -535,34 +573,42 @@ impl Service {
     /// end that connection).
     pub fn serve_listener(&self, listener: &TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
-        thread::scope(|scope| {
-            loop {
+        let workers = self.config.max_inflight.saturating_add(2);
+        pool::run(
+            workers,
+            workers,
+            |stream: TcpStream| {
+                // Best-effort: a connection without a timeout still
+                // serves, it just cannot notice a drain until its next
+                // complete frame.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(
+                    self.config.poll_ms.max(1),
+                )));
+                if let Ok(write_half) = stream.try_clone() {
+                    // Connection errors end the connection, never the
+                    // service.
+                    let _ = self.serve(stream, write_half);
+                }
+            },
+            |queue| loop {
                 if self.is_shut_down() {
                     return Ok(());
                 }
                 match listener.accept() {
                     Ok((stream, _addr)) => {
-                        // Best-effort: a connection without a timeout
-                        // still serves, it just cannot notice a drain
-                        // until its next complete frame.
-                        let _ = stream.set_read_timeout(Some(Duration::from_millis(
-                            self.config.poll_ms.max(1),
-                        )));
-                        scope.spawn(move || {
-                            if let Ok(write_half) = stream.try_clone() {
-                                // Connection errors end the connection,
-                                // never the service.
-                                let _ = self.serve(stream, write_half);
-                            }
-                        });
+                        self.metrics
+                            .gauge_max("service.pool.backlog", queue.depth() as u64 + 1);
+                        if !queue.push(stream) {
+                            return Ok(());
+                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
                     }
                     Err(e) => return Err(e),
                 }
-            }
-        })
+            },
+        )
     }
 }
 

@@ -40,12 +40,13 @@ fn route_line(id: &str, scenario_text: &str) -> String {
     )
 }
 
-/// Replaces the cache label so hit/warm/cold responses can be compared
-/// for byte-identity of everything else.
+/// Replaces the cache label so hit/warm/cold/coalesced responses can
+/// be compared for byte-identity of everything else.
 fn normalize(response: &str) -> String {
     response
         .replace("\"cache\":\"hit\"", "\"cache\":\"cold\"")
         .replace("\"cache\":\"warm\"", "\"cache\":\"cold\"")
+        .replace("\"cache\":\"coalesced\"", "\"cache\":\"cold\"")
 }
 
 /// The response a fresh service (empty cache) gives — the cold
@@ -84,7 +85,8 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     /// Satellite (c), part 1: cache-hit and warm-start responses are
-    /// byte-identical to a cold solve of the same scenario.
+    /// byte-identical to a cold solve of the same scenario — for every
+    /// shard count (sharding must only move locks, never bytes).
     #[test]
     fn hit_and_warm_responses_match_cold(bx in 1u32..13, by in 1u32..13, dx in 1u32..13) {
         // Force a real block move (the vendored proptest has no
@@ -92,63 +94,76 @@ proptest! {
         let dx = if dx == bx { bx % 12 + 1 } else { dx };
         let a = scenario_text(bx, by);
         let b = scenario_text(dx, by); // same base, moved block
-        let service = Service::new(ServiceConfig::default());
+        for shards in [1usize, 2, 8] {
+            let service = Service::new(ServiceConfig { shards, ..ServiceConfig::default() });
 
-        let cold_a = service.handle_line(&route_line("x", &a));
-        prop_assert!(cold_a.contains("\"cache\":\"cold\""), "{}", cold_a);
+            let cold_a = service.handle_line(&route_line("x", &a));
+            prop_assert!(cold_a.contains("\"cache\":\"cold\""), "{}", cold_a);
 
-        // Exact repeat, plus a comment/CRLF-noised variant: both hits.
-        let hit = service.handle_line(&route_line("x", &a));
-        prop_assert!(hit.contains("\"cache\":\"hit\""), "{}", hit);
-        prop_assert_eq!(normalize(&cold_a), normalize(&hit));
-        let noisy = a.replace('\n', "  # c\r\n");
-        let noisy_hit = service.handle_line(&route_line("x", &noisy));
-        prop_assert!(noisy_hit.contains("\"cache\":\"hit\""), "{}", noisy_hit);
-        prop_assert_eq!(normalize(&cold_a), normalize(&noisy_hit));
+            // Exact repeat, plus a comment/CRLF-noised variant: both hits.
+            let hit = service.handle_line(&route_line("x", &a));
+            prop_assert!(hit.contains("\"cache\":\"hit\""), "{}", hit);
+            prop_assert_eq!(normalize(&cold_a), normalize(&hit));
+            let noisy = a.replace('\n', "  # c\r\n");
+            let noisy_hit = service.handle_line(&route_line("x", &noisy));
+            prop_assert!(noisy_hit.contains("\"cache\":\"hit\""), "{}", noisy_hit);
+            prop_assert_eq!(normalize(&cold_a), normalize(&noisy_hit));
 
-        // Near miss: warm-started, yet byte-identical to B's cold solve.
-        let warm = service.handle_line(&route_line("x", &b));
-        prop_assert!(warm.contains("\"cache\":\"warm\""), "{}", warm);
-        prop_assert_eq!(normalize(&warm), normalize(&cold_reference(&b)));
-        prop_assert_eq!(service.metrics().counter_value("service.warm_reuse"), 1);
+            // Near miss: warm-started (the cross-shard scan must find
+            // A's entry whichever shard holds it), yet byte-identical
+            // to B's cold solve.
+            let warm = service.handle_line(&route_line("x", &b));
+            prop_assert!(warm.contains("\"cache\":\"warm\""), "shards {}: {}", shards, warm);
+            prop_assert_eq!(normalize(&warm), normalize(&cold_reference(&b)));
+            prop_assert_eq!(service.metrics().counter_value("service.warm_reuse"), 1);
 
-        // And the embedded report is exactly the library report —
-        // i.e. `crplan --quiet` bytes.
-        prop_assert_eq!(report_field(&warm), library_report(&b));
-        prop_assert_eq!(report_field(&hit), library_report(&a));
+            // And the embedded report is exactly the library report —
+            // i.e. `crplan --quiet` bytes.
+            prop_assert_eq!(report_field(&warm), library_report(&b));
+            prop_assert_eq!(report_field(&hit), library_report(&a));
+        }
     }
 
     /// Satellite (c), part 2: a one-entry cache that evicts on every
-    /// insert never changes any response.
+    /// insert never changes any response — under any shard count.
     #[test]
     fn eviction_under_tiny_capacity_never_changes_responses(
         xs in proptest::collection::vec(1u32..13, 3..6),
     ) {
-        let service = Service::new(ServiceConfig {
-            cache_cap: 1,
-            ..ServiceConfig::default()
-        });
-        // Each position twice, interleaved, so almost every request
-        // evicts the previous entry (and may warm-start from it: all
-        // variants share a base).
-        let mut sequence: Vec<u32> = xs.clone();
-        sequence.extend(&xs);
-        for &bx in &sequence {
-            let text = scenario_text(bx, 7);
-            let got = service.handle_line(&route_line("x", &text));
-            prop_assert_eq!(
-                normalize(&got),
-                normalize(&cold_reference(&text)),
-                "divergence at block x={}",
-                bx
-            );
-        }
-        if xs.iter().collect::<std::collections::BTreeSet<_>>().len() > 1 {
-            prop_assert!(
-                service.metrics().counter_value("service.evictions") > 0,
-                "capacity 1 with {} distinct scenarios must evict",
-                xs.len()
-            );
+        for shards in [1usize, 2, 8] {
+            let service = Service::new(ServiceConfig {
+                cache_cap: 1,
+                shards,
+                ..ServiceConfig::default()
+            });
+            // Each position twice, interleaved, so almost every request
+            // evicts the previous entry (and may warm-start from it: all
+            // variants share a base).
+            let mut sequence: Vec<u32> = xs.clone();
+            sequence.extend(&xs);
+            for &bx in &sequence {
+                let text = scenario_text(bx, 7);
+                let got = service.handle_line(&route_line("x", &text));
+                prop_assert_eq!(
+                    normalize(&got),
+                    normalize(&cold_reference(&text)),
+                    "shards {}, divergence at block x={}",
+                    shards,
+                    bx
+                );
+            }
+            // With several shards the cap-1 budget spreads out (each
+            // shard keeps at least one entry), so eviction pressure is
+            // only guaranteed in the single-shard layout.
+            if shards == 1
+                && xs.iter().collect::<std::collections::BTreeSet<_>>().len() > 1
+            {
+                prop_assert!(
+                    service.metrics().counter_value("service.evictions") > 0,
+                    "capacity 1 with {} distinct scenarios must evict",
+                    xs.len()
+                );
+            }
         }
     }
 }
@@ -166,12 +181,90 @@ fn stats_counters_track_the_three_paths() {
     assert_eq!(m.counter_value("service.hits"), 1);
     assert_eq!(m.counter_value("service.misses"), 2);
     assert_eq!(m.counter_value("service.warm_reuse"), 1);
+    assert_eq!(m.counter_value("service.coalesced"), 0, "serial traffic never coalesces");
     assert_eq!(m.counter_value("service.rejects"), 0);
+    assert_eq!(m.gauge_value("service.cache.len"), 2);
+    assert_eq!(m.gauge_value("service.cache.len.max"), 2);
     // Planner counters were replayed into the same recorder.
     assert!(
         m.counter_value("plan.nets.routed") > 0,
         "planner shards replayed"
     );
+}
+
+#[test]
+fn cache_len_gauge_shrinks_after_eviction() {
+    // Satellite regression: `service.cache.len` used to be reported
+    // via gauge_max, so it could never reflect eviction shrink. Fill a
+    // 2-entry single-shard cache, then insert a third scenario: the
+    // last-value gauge must read 2 (two survivors), not climb to 3,
+    // while the high-water mark keeps the pre-eviction peak.
+    let service = Service::new(ServiceConfig {
+        cache_cap: 2,
+        shards: 1,
+        ..ServiceConfig::default()
+    });
+    for (i, bx) in [3u32, 6, 9].iter().enumerate() {
+        service.handle_line(&route_line(&format!("r{i}"), &scenario_text(*bx, 3)));
+    }
+    let m = service.metrics();
+    assert_eq!(m.counter_value("service.evictions"), 1);
+    assert_eq!(m.gauge_value("service.cache.len"), 2, "last value, not max");
+    assert_eq!(m.gauge_value("service.cache.len.max"), 2);
+    // The stats op re-reads the live length the same way.
+    let stats = service.handle_line("{\"id\":\"s\",\"op\":\"stats\"}");
+    assert!(stats.contains("\"service.cache.len\":2"), "{stats}");
+}
+
+#[test]
+fn recovery_replay_lands_entries_in_the_right_shards() {
+    // Entries persisted under one shard layout must recover correctly
+    // under any other: the shard is derived from the fingerprint at
+    // insert time, so replay re-routes each record wherever the new
+    // layout wants it.
+    let dir = std::env::temp_dir().join(format!(
+        "crserve-shard-recovery-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let texts: Vec<String> = [2u32, 5, 8, 11].iter().map(|&bx| scenario_text(bx, 6)).collect();
+    let mut colds = Vec::new();
+    {
+        let service = Service::new(ServiceConfig {
+            shards: 4,
+            state: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        for (i, t) in texts.iter().enumerate() {
+            colds.push(service.handle_line(&route_line(&format!("c{i}"), t)));
+        }
+        // No snapshot() call: the append log alone carries the state.
+    }
+    for shards in [1usize, 2, 8] {
+        let reborn = Service::new(ServiceConfig {
+            shards,
+            state: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        assert_eq!(
+            reborn.metrics().counter_value("service.persist.recovered"),
+            texts.len() as u64,
+            "shards {shards}"
+        );
+        for (i, t) in texts.iter().enumerate() {
+            let got = reborn.handle_line(&route_line(&format!("c{i}"), t));
+            assert!(
+                got.contains("\"cache\":\"hit\""),
+                "shards {shards}: recovered entry must hit: {got}"
+            );
+            assert_eq!(
+                normalize(&got),
+                normalize(&colds[i]),
+                "shards {shards}: recovered bytes diverged"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------

@@ -37,20 +37,26 @@ start_server() {
 }
 
 # Sends one request line over a fresh TCP connection and prints the
-# one response line.
+# one response line. Prints nothing if the connection is cut before a
+# complete line arrives (a SIGKILL mid-burst may cost the response —
+# it must never surface a torn one).
 ask() {
     python3 - "$addr" "$1" <<'EOF'
 import socket, sys
 host, port = sys.argv[1].rsplit(":", 1)
-s = socket.create_connection((host, int(port)), timeout=30)
-s.sendall((sys.argv[2] + "\n").encode())
 buf = b""
-while not buf.endswith(b"\n"):
-    chunk = s.recv(4096)
-    if not chunk:
-        break
-    buf += chunk
-sys.stdout.write(buf.decode())
+try:
+    s = socket.create_connection((host, int(port)), timeout=30)
+    s.sendall((sys.argv[2] + "\n").encode())
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(4096)
+        if not chunk:
+            break
+        buf += chunk
+except OSError:
+    pass
+if buf.endswith(b"\n"):
+    sys.stdout.write(buf.decode())
 EOF
 }
 
@@ -106,6 +112,49 @@ echo "$c1" | grep -q '"status":"ok"' || fail "post-corruption request failed: $c
 stats=$(ask '{"op":"stats"}')
 echo "$stats" | grep -q '"service.persist.dropped":[1-9]' \
     || fail "corrupt record not counted dropped: $stats"
+bye=$(ask '{"op":"shutdown"}')
+echo "$bye" | grep -q '"bye":true' || fail "shutdown not acknowledged: $bye"
+wait "$pid" || fail "clean shutdown exited non-zero"
+pid=""
+
+# --- Concurrent burst, SIGKILL mid-flight, recover (DESIGN.md §14). --
+# Eight parallel clients over two scenarios (duplicates exercise the
+# single-flight path); answered ⟹ durable must hold for every response
+# that completed before the kill, regardless of interleaving.
+rm -rf "$tmp/state"
+start_server
+for i in 1 2 3 4 5 6 7 8; do
+    case $i in 1|3|5|7) scen=$SCEN1 ;; *) scen=$SCEN2 ;; esac
+    ask "$(route x "$scen")" > "$tmp/burst.$i" &
+done
+# Kill once at least two answers are out, so the SIGKILL lands with
+# responses both before and (likely) still in flight.
+for _ in $(seq 1 200); do
+    landed=$(grep -l '"status":"ok"' "$tmp"/burst.* 2>/dev/null | wc -l)
+    [ "$landed" -ge 2 ] && break
+    sleep 0.05
+done
+kill -9 "$pid" || fail "SIGKILL mid-burst"
+wait "$pid" 2>/dev/null || true
+wait || true # collect the client jobs; cut connections print nothing
+
+start_server
+answered=0
+for i in 1 2 3 4 5 6 7 8; do
+    case $i in 1|3|5|7) scen=$SCEN1 ;; *) scen=$SCEN2 ;; esac
+    line=$(cat "$tmp/burst.$i" 2>/dev/null || true)
+    case $line in
+        *'"status":"ok"'*)
+            answered=$((answered + 1))
+            again=$(ask "$(route x "$scen")")
+            echo "$again" | grep -q '"cache":"hit"' \
+                || fail "burst answer $i lost across SIGKILL: $again"
+            [ "$(norm "$line")" = "$(norm "$again")" ] \
+                || fail "burst bytes changed across crash: $again"
+            ;;
+    esac
+done
+[ "$answered" -ge 1 ] || fail "no burst response completed before SIGKILL"
 bye=$(ask '{"op":"shutdown"}')
 echo "$bye" | grep -q '"bye":true' || fail "shutdown not acknowledged: $bye"
 wait "$pid" || fail "clean shutdown exited non-zero"

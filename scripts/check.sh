@@ -18,6 +18,7 @@ cargo test --release -q --test differential
 # validation, and the exit-code contract (see DESIGN.md §12).
 sh scripts/serve_smoke.sh
 # Chaos smoke: SIGKILL mid-burst + restart on the same --state dir,
-# SIGTERM graceful drain, snapshot corruption (see DESIGN.md §13).
+# SIGTERM graceful drain, snapshot corruption, and a concurrent-client
+# burst SIGKILLed mid-flight (see DESIGN.md §13–14).
 sh scripts/chaos_smoke.sh
 cargo clippy --all-targets -- -D warnings

@@ -128,6 +128,32 @@ impl<'a> Ctx<'a> {
     pub fn register_stage(&self, cap: f64, delay: f64) -> f64 {
         delay + self.reg_res * cap * 1.0e-3 + self.reg_k
     }
+
+    /// Smallest input capacitance any gate the searches place can
+    /// present: the floor for downstream loads.
+    pub fn min_gate_cap(&self) -> f64 {
+        let mut best = self
+            .reg_cap
+            .min(self.lib.gate(self.gt).input_cap().ff());
+        for b in &self.buffers {
+            best = best.min(b.cap);
+        }
+        best
+    }
+
+    /// Bucket-width hint for the dial queue: the cheapest single-edge
+    /// key increment a wire expansion can produce,
+    /// `min_a R_e[a]·(C_min + C_e[a]/2)·1e-3` (ps). Keys grow by at
+    /// least roughly this per push, so buckets of this width stay small.
+    pub fn queue_scale(&self) -> f64 {
+        let c_min = self.min_gate_cap();
+        let mut best = f64::INFINITY;
+        for a in 0..2 {
+            let step = self.re[a] * 1.0e-3 * (c_min + self.ce[a] / 2.0);
+            best = best.min(step);
+        }
+        best
+    }
 }
 
 #[cfg(test)]

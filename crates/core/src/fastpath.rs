@@ -11,8 +11,12 @@
 
 use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
-use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
+use crate::engine::{
+    Arena, Cand, CandArena, DelayQueue, DialQueue, EngineKind, PruneTable, SearchQueue,
+    SortedFronts, NO_PARENT,
+};
 use crate::failpoint::{self, FailAction};
+use crate::goal::{probe_fastpath, GoalBound};
 use crate::telemetry::TelemetryHandle;
 use crate::{FastPathSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
@@ -51,6 +55,8 @@ pub struct FastPathSpec<'a> {
     sink_gate: GateId,
     budget: SearchBudget,
     telemetry: TelemetryHandle<'a>,
+    engine: EngineKind,
+    goal_prune: bool,
 }
 
 impl<'a> FastPathSpec<'a> {
@@ -67,7 +73,25 @@ impl<'a> FastPathSpec<'a> {
             sink_gate: lib.register(),
             budget: SearchBudget::unlimited(),
             telemetry: TelemetryHandle::none(),
+            engine: EngineKind::default(),
+            goal_prune: true,
         }
+    }
+
+    /// Selects the search substrate (default: [`EngineKind::Arena`]).
+    /// Both engines return identical routes; `Legacy` exists as the
+    /// equivalence reference.
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Enables or disables admissible goal pruning (default: on; arena
+    /// engine only). Like `wire_bound` on the RBP spec, this never
+    /// changes the result — only the amount of work spent reaching it.
+    pub fn goal_prune(mut self, on: bool) -> Self {
+        self.goal_prune = on;
+        self
     }
 
     /// Sets the source grid point.
@@ -126,14 +150,20 @@ impl<'a> FastPathSpec<'a> {
         // crlint-allow: CR003 span start; the duration only reaches telemetry, never compared bytes
         let started = std::time::Instant::now();
         let mut stats = SearchStats::new();
-        let out = solve(&ctx, self.budget, &mut stats);
+        let out = match self.engine {
+            EngineKind::Arena => solve_arena(&ctx, self.budget, self.goal_prune, &mut stats),
+            EngineKind::Legacy => solve_legacy(&ctx, self.budget, &mut stats),
+        };
         self.telemetry
             .flush_search("fastpath", &stats, started.elapsed(), out.is_ok());
         out
     }
 }
 
-fn solve(
+/// The pre-rewrite substrate, kept verbatim as the equivalence reference
+/// (DESIGN.md §15): boxed candidates in a binary heap, linear-scan
+/// dominance, no goal pruning.
+fn solve_legacy(
     ctx: &Ctx<'_>,
     budget: SearchBudget,
     stats: &mut SearchStats,
@@ -179,6 +209,7 @@ fn solve(
             labels[last] = Some(ctx.gt);
             let path = RoutedPath::new(points, labels, ctx.lib);
             stats.touched = arena.touched(graph);
+            stats.front_comparisons = prune.comparisons();
             return Ok(FastPathSolution {
                 path,
                 delay: Time::from_ps(cand.delay),
@@ -250,6 +281,187 @@ fn solve(
     }
 
     stats.arena_steps = arena.len() as u64;
+    stats.front_comparisons = prune.comparisons();
+    Err(RouteError::NoFeasibleRoute)
+}
+
+/// Arena-engine fast path: struct-of-arrays candidates behind a dial
+/// queue and sorted frontiers, plus (optionally) admissible goal pruning
+/// against a canonical-path upper bound.
+///
+/// Every decision the legacy engine makes is mirrored exactly — the same
+/// admits, the same pop order over surviving candidates, the same
+/// charges — so the returned route and delay are byte-identical. Dead
+/// pops (candidates evicted while queued, which the legacy engine
+/// charges and stale-skips) are elided before any charge, and goal
+/// pruning removes provably useless pushes; neither can touch the
+/// optimum (see `goal` module docs for the admissibility argument).
+fn solve_arena(
+    ctx: &Ctx<'_>,
+    budget: SearchBudget,
+    goal_prune: bool,
+    stats: &mut SearchStats,
+) -> Result<FastPathSolution, RouteError> {
+    let graph = ctx.graph;
+    let mut meter = BudgetMeter::new(budget, SearchStage::FastPath);
+    let mut arena = Arena::new();
+    let mut cands = CandArena::new();
+    let mut queue = DialQueue::new(ctx.queue_scale());
+    let mut fronts = SortedFronts::new(graph.node_count());
+    let bound = GoalBound::new(ctx);
+    // `None` disables pruning (blocked probe path — no upper bound).
+    let mut upper = if goal_prune { probe_fastpath(ctx) } else { None };
+
+    let gt = ctx.lib.gate(ctx.gt);
+    let root = arena.push(ctx.t, None, NO_PARENT);
+    let start = Cand::start(gt.input_cap().ff(), gt.setup().ps(), root, ctx.t);
+    let admitted = fronts.admits(ctx.t.index(), start.cap, start.delay, 0.0, false);
+    let seed = cands.alloc(&start);
+    if admitted {
+        fronts.insert(
+            ctx.t.index(),
+            start.cap,
+            start.delay,
+            0.0,
+            false,
+            seed,
+            &mut cands,
+            &mut stats.pruned,
+        );
+    }
+    queue.push(start.delay, seed);
+    stats.record_push(queue.len());
+
+    while let Some(idx) = queue.pop() {
+        if cands.is_dead(idx) {
+            // Evicted while queued: the legacy engine charges the pop and
+            // stale-skips it; eliding the charge is pure saving.
+            continue;
+        }
+        let cand = cands.get(idx);
+        match failpoint::hit("fastpath::pop") {
+            Some(FailAction::Panic) => panic!("failpoint fastpath::pop: forced panic"),
+            Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+            Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+            // I/O actions only apply at `serve::*` sites; inert here.
+            Some(FailAction::IoError | FailAction::ShortIo) | None => {}
+        }
+        stats.budget_charges += 1;
+        stats.arena_steps = arena.len() as u64;
+        meter.charge_pop(arena.len())?;
+        stats.configs += 1;
+        if cand.finalized {
+            // First completed candidate off the queue is globally optimal.
+            let (nodes, mut labels) = arena.reconstruct(cand.trail);
+            let points: Vec<Point> = nodes.iter().map(|&n| graph.point(n)).collect();
+            labels[0] = Some(ctx.gs);
+            let last = labels.len() - 1;
+            labels[last] = Some(ctx.gt);
+            let path = RoutedPath::new(points, labels, ctx.lib);
+            stats.touched = arena.touched(graph);
+            stats.front_comparisons = fronts.comparisons();
+            return Ok(FastPathSolution {
+                path,
+                delay: Time::from_ps(cand.delay),
+                stats: *stats,
+            });
+        }
+        if fronts.is_stale(
+            cand.node.index(),
+            cand.cap,
+            cand.delay,
+            0.0,
+            !cand.gate_here,
+        ) {
+            stats.stale_skipped += 1;
+            continue;
+        }
+
+        // Step 6 (Fig. 1): extend along each incident edge.
+        for v in graph.neighbors(cand.node) {
+            stats.budget_charges += 1;
+            meter.charge_expand()?;
+            let (re, ce) = ctx.edge(cand.node, v);
+            let cap = cand.cap + ce;
+            let delay = cand.delay + re * (cand.cap + ce / 2.0);
+            if let Some(u) = upper {
+                if bound.doomed(graph.point(v), cap, delay, u) {
+                    stats.goal_pruned += 1;
+                    continue;
+                }
+            }
+            if !fronts.admits(v.index(), cap, delay, 0.0, true) {
+                stats.pruned += 1;
+                continue;
+            }
+            let trail = arena.push(v, None, cand.trail);
+            let mut next = Cand::start(cap, delay, trail, v);
+            next.gate_here = false;
+            let nidx = cands.alloc(&next);
+            fronts.insert(v.index(), cap, delay, 0.0, true, nidx, &mut cands, &mut stats.pruned);
+            queue.push(delay, nidx);
+            stats.record_push(queue.len());
+            if v == ctx.s {
+                // Step 5: a source arrival — push the completed candidate
+                // keyed by its total delay, and tighten the goal bound.
+                let total = ctx.finish_at_source(cap, delay);
+                let mut fin = next;
+                fin.delay = total;
+                fin.finalized = true;
+                let fidx = cands.alloc(&fin);
+                queue.push(total, fidx);
+                stats.record_push(queue.len());
+                if let Some(u) = upper {
+                    if total < u {
+                        upper = Some(total);
+                    }
+                }
+            }
+        }
+
+        // Steps 7–8: try every buffer at the current node.
+        if cand.node != ctx.s
+            && cand.node != ctx.t
+            && !cand.gate_here
+            && graph.is_insertable(cand.node)
+        {
+            for b in &ctx.buffers {
+                stats.budget_charges += 1;
+                meter.charge_expand()?;
+                let cap = b.cap;
+                let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
+                if let Some(u) = upper {
+                    if bound.doomed(graph.point(cand.node), cap, delay, u) {
+                        stats.goal_pruned += 1;
+                        continue;
+                    }
+                }
+                if !fronts.admits(cand.node.index(), cap, delay, 0.0, false) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let trail = arena.push(cand.node, Some(b.id), cand.trail);
+                let mut next = Cand::start(cap, delay, trail, cand.node);
+                next.gate_here = true;
+                let nidx = cands.alloc(&next);
+                fronts.insert(
+                    cand.node.index(),
+                    cap,
+                    delay,
+                    0.0,
+                    false,
+                    nidx,
+                    &mut cands,
+                    &mut stats.pruned,
+                );
+                queue.push(delay, nidx);
+                stats.record_push(queue.len());
+            }
+        }
+    }
+
+    stats.arena_steps = arena.len() as u64;
+    stats.front_comparisons = fronts.comparisons();
     Err(RouteError::NoFeasibleRoute)
 }
 

@@ -31,7 +31,10 @@
 
 use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
-use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
+use crate::engine::{
+    Arena, Cand, CandArena, DelayQueue, DialQueue, EngineKind, PruneTable, SearchQueue,
+    SortedFronts, NO_PARENT,
+};
 use crate::failpoint::{self, FailAction};
 use crate::telemetry::TelemetryHandle;
 use crate::{RouteError, RoutedPath, SearchBudget, SearchStats};
@@ -76,6 +79,7 @@ pub struct LatchSpec<'a> {
     borrow: Time,
     budget: SearchBudget,
     telemetry: TelemetryHandle<'a>,
+    engine: EngineKind,
 }
 
 impl<'a> LatchSpec<'a> {
@@ -94,7 +98,16 @@ impl<'a> LatchSpec<'a> {
             borrow: Time::ZERO,
             budget: SearchBudget::unlimited(),
             telemetry: TelemetryHandle::none(),
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Selects the search substrate (default: [`EngineKind::Arena`]).
+    /// Both engines return identical routes; `Legacy` exists as the
+    /// equivalence reference.
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
     }
 
     /// Sets the source grid point.
@@ -156,7 +169,10 @@ impl<'a> LatchSpec<'a> {
         // crlint-allow: CR003 span start; the duration only reaches telemetry, never compared bytes
         let started = std::time::Instant::now();
         let mut stats = SearchStats::new();
-        let out = solve(&ctx, t_phi, self.borrow, self.budget, &mut stats);
+        let out = match self.engine {
+            EngineKind::Arena => solve_arena(&ctx, t_phi, self.borrow, self.budget, &mut stats),
+            EngineKind::Legacy => solve_legacy(&ctx, t_phi, self.borrow, self.budget, &mut stats),
+        };
         self.telemetry
             .flush_search("latch", &stats, started.elapsed(), out.is_ok());
         out
@@ -232,7 +248,9 @@ pub fn validate_borrowing(stages: &[Time], t: Time, b: Time) -> bool {
     true
 }
 
-fn solve(
+/// The pre-rewrite substrate, kept verbatim as the equivalence
+/// reference (DESIGN.md §15).
+fn solve_legacy(
     ctx: &Ctx<'_>,
     t_phi: Time,
     borrow: Time,
@@ -299,6 +317,7 @@ fn solve(
                 // The source launches exactly at the edge: no borrowing.
                 if total - t + cand.borrowed <= 0.0 {
                     stats.arena_steps = arena.len() as u64;
+                    stats.front_comparisons = prune.comparisons();
                     stats.touched = arena.touched(graph);
                     let (nodes, mut labels) = arena.reconstruct(cand.trail);
                     let points: Vec<Point> = nodes.iter().map(|&nd| graph.point(nd)).collect();
@@ -407,6 +426,7 @@ fn solve(
 
         if spill.is_empty() {
             stats.arena_steps = arena.len() as u64;
+            stats.front_comparisons = prune.comparisons();
             return Err(RouteError::NoFeasibleRoute);
         }
         // Termination bound: every latch occupies a distinct node
@@ -417,6 +437,7 @@ fn solve(
         // cap an infeasible instance would spawn waves forever.
         if stats.waves as usize >= graph.node_count() {
             stats.arena_steps = arena.len() as u64;
+            stats.front_comparisons = prune.comparisons();
             return Err(RouteError::NoFeasibleRoute);
         }
         stats.waves += 1;
@@ -442,6 +463,247 @@ fn solve(
                 continue;
             }
             queue.push(cand.delay, cand);
+            stats.record_push(queue.len());
+        }
+    }
+}
+
+/// Arena-engine search: flat candidate storage, a monotone bucket
+/// queue, and sorted Pareto fronts (falling back to linear scans when a
+/// node's front mixes lateness values). Returns exactly what
+/// [`solve_legacy`] returns. No goal pruning: the borrowed-lateness
+/// dimension makes the single-period distance bound inadmissible.
+fn solve_arena(
+    ctx: &Ctx<'_>,
+    t_phi: Time,
+    borrow: Time,
+    search_budget: SearchBudget,
+    stats: &mut SearchStats,
+) -> Result<LatchSolution, RouteError> {
+    let graph = ctx.graph;
+    let t = t_phi.ps();
+    let b = borrow.ps();
+    let n = graph.node_count();
+    let mut meter = BudgetMeter::new(search_budget, SearchStage::Latch);
+    let mut arena = Arena::new();
+    let mut cands = CandArena::new();
+    let mut fronts = SortedFronts::new(n);
+    let latch_gate = ctx.lib.gate(ctx.lib.latch());
+    let latch_res = latch_gate.driver_res().ohms();
+    let latch_cap = latch_gate.input_cap().ff();
+    let latch_k = latch_gate.intrinsic().ps();
+    let latch_setup = latch_gate.setup().ps();
+    let latch_id = ctx.lib.latch();
+
+    let mut queue = DialQueue::new(ctx.queue_scale());
+    let mut spill: Vec<u32> = Vec::new();
+    // Cross-wave seed dominance, as in the legacy engine.
+    let mut best_seed_v = vec![f64::INFINITY; n];
+
+    let gt = ctx.lib.gate(ctx.gt);
+    let root = arena.push(ctx.t, None, NO_PARENT);
+    let mut start = Cand::start(gt.input_cap().ff(), gt.setup().ps(), root, ctx.t);
+    start.borrowed = 0.0; // V at the sink
+    let sidx = cands.alloc(&start);
+    if fronts.admits(ctx.t.index(), start.cap, start.delay, b, false) {
+        fronts.insert(
+            ctx.t.index(),
+            start.cap,
+            start.delay,
+            b,
+            false,
+            sidx,
+            &mut cands,
+            &mut stats.pruned,
+        );
+    }
+    queue.push(start.delay, sidx);
+    stats.record_push(queue.len());
+
+    loop {
+        while let Some(qidx) = queue.pop() {
+            // Entry evicted from its front while queued: the slot was
+            // reclaimed, so skip before charging anything.
+            if cands.is_dead(qidx) {
+                continue;
+            }
+            match failpoint::hit("latch::pop") {
+                Some(FailAction::Panic) => panic!("failpoint latch::pop: forced panic"),
+                Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+                Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                // I/O actions only apply at `serve::*` sites; inert here.
+                Some(FailAction::IoError | FailAction::ShortIo) | None => {}
+            }
+            let cand = cands.get(qidx);
+            stats.budget_charges += 1;
+            stats.arena_steps = arena.len() as u64;
+            meter.charge_pop(arena.len())?;
+            stats.configs += 1;
+            let extra = cand.borrowed + b; // shifted to ≥ 0
+            if fronts.is_stale(cand.node.index(), cand.cap, cand.delay, extra, !cand.gate_here) {
+                stats.stale_skipped += 1;
+                continue;
+            }
+
+            if cand.node == ctx.s {
+                let total = ctx.finish_at_source(cand.cap, cand.delay);
+                // The source launches exactly at the edge: no borrowing.
+                if total - t + cand.borrowed <= 0.0 {
+                    stats.arena_steps = arena.len() as u64;
+                    stats.front_comparisons = fronts.comparisons();
+                    stats.touched = arena.touched(graph);
+                    let (nodes, mut labels) = arena.reconstruct(cand.trail);
+                    let points: Vec<Point> = nodes.iter().map(|&nd| graph.point(nd)).collect();
+                    labels[0] = Some(ctx.gs);
+                    let last = labels.len() - 1;
+                    labels[last] = Some(ctx.gt);
+                    return Ok(LatchSolution {
+                        path: RoutedPath::new(points, labels, ctx.lib),
+                        period: t_phi,
+                        borrow,
+                        stats: *stats,
+                    });
+                }
+            }
+
+            // Per-candidate admissible budget for the stage under
+            // construction: σ ≤ T − V.
+            let budget = t - cand.borrowed;
+
+            for v in graph.neighbors(cand.node) {
+                stats.budget_charges += 1;
+                meter.charge_expand()?;
+                let (re, ce) = ctx.edge(cand.node, v);
+                let cap = cand.cap + ce;
+                let delay = cand.delay + re * (cand.cap + ce / 2.0);
+                if delay > budget - latch_k - ctx.min_res * cap * 1.0e-3 {
+                    stats.bound_rejected += 1;
+                    continue;
+                }
+                if !fronts.admits(v.index(), cap, delay, extra, true) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let trail = arena.push(v, None, cand.trail);
+                let mut next = cand;
+                next.cap = cap;
+                next.delay = delay;
+                next.node = v;
+                next.trail = trail;
+                next.gate_here = false;
+                let nidx = cands.alloc(&next);
+                fronts.insert(v.index(), cap, delay, extra, true, nidx, &mut cands, &mut stats.pruned);
+                queue.push(delay, nidx);
+                stats.record_push(queue.len());
+            }
+
+            let internal = cand.node != ctx.s && cand.node != ctx.t && !cand.gate_here;
+
+            if internal && graph.is_insertable(cand.node) {
+                for bf in &ctx.buffers {
+                    stats.budget_charges += 1;
+                    meter.charge_expand()?;
+                    let cap = bf.cap;
+                    let delay = cand.delay + bf.res * cand.cap * 1.0e-3 + bf.k;
+                    if delay > budget - latch_k {
+                        stats.bound_rejected += 1;
+                        continue;
+                    }
+                    if !fronts.admits(cand.node.index(), cap, delay, extra, false) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    let trail = arena.push(cand.node, Some(bf.id), cand.trail);
+                    let mut next = cand;
+                    next.cap = cap;
+                    next.delay = delay;
+                    next.trail = trail;
+                    next.gate_here = true;
+                    let nidx = cands.alloc(&next);
+                    fronts.insert(
+                        cand.node.index(),
+                        cap,
+                        delay,
+                        extra,
+                        false,
+                        nidx,
+                        &mut cands,
+                        &mut stats.pruned,
+                    );
+                    queue.push(delay, nidx);
+                    stats.record_push(queue.len());
+                }
+            }
+
+            // Latch insertion → next wave, carrying the new lateness V'.
+            if internal && graph.is_register_allowed(cand.node) {
+                let stage = cand.delay + latch_res * cand.cap * 1.0e-3 + latch_k;
+                // Feasible iff σ ≤ T − V; the borrowing allowance of the
+                // downstream latch is already folded into V (clamped at
+                // −B), so a stage may overshoot T by up to B when the
+                // downstream windows have that much slack.
+                if stage - t + cand.borrowed <= 0.0 {
+                    let new_v = (stage - t + cand.borrowed).max(-b);
+                    if new_v >= best_seed_v[cand.node.index()] {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    best_seed_v[cand.node.index()] = new_v;
+                    let trail = arena.push(cand.node, Some(latch_id), cand.trail);
+                    let mut next = cand;
+                    next.cap = latch_cap;
+                    next.delay = latch_setup;
+                    next.trail = trail;
+                    next.gate_here = true;
+                    next.borrowed = new_v;
+                    spill.push(cands.alloc(&next));
+                } else {
+                    stats.bound_rejected += 1;
+                }
+            }
+        }
+
+        if spill.is_empty() {
+            stats.arena_steps = arena.len() as u64;
+            stats.front_comparisons = fronts.comparisons();
+            return Err(RouteError::NoFeasibleRoute);
+        }
+        // Termination bound: every latch occupies a distinct node
+        // (m: V → I ∪ {0}), so a feasible solution never needs more
+        // latches than there are grid nodes (see the legacy engine).
+        if stats.waves as usize >= graph.node_count() {
+            stats.arena_steps = arena.len() as u64;
+            stats.front_comparisons = fronts.comparisons();
+            return Err(RouteError::NoFeasibleRoute);
+        }
+        stats.waves += 1;
+        fronts.advance_wave();
+        // Seed the next wave, pruning among its candidates (several may
+        // share a node with different lateness). Sorting through the
+        // candidate arena keeps the legacy seeding order byte-for-byte.
+        let mut next_wave = std::mem::take(&mut spill);
+        next_wave.sort_by(|&a, &b2| cands.get(a).delay.total_cmp(&cands.get(b2).delay));
+        for nidx in next_wave {
+            let cand = cands.get(nidx);
+            stats.budget_charges += 1;
+            stats.promoted += 1;
+            meter.charge_expand()?;
+            let extra = cand.borrowed + b;
+            if !fronts.admits(cand.node.index(), cand.cap, cand.delay, extra, false) {
+                stats.pruned += 1;
+                continue;
+            }
+            fronts.insert(
+                cand.node.index(),
+                cand.cap,
+                cand.delay,
+                extra,
+                false,
+                nidx,
+                &mut cands,
+                &mut stats.pruned,
+            );
+            queue.push(cand.delay, nidx);
             stats.record_push(queue.len());
         }
     }

@@ -57,6 +57,7 @@ mod error;
 pub mod failpoint;
 mod fastpath;
 mod gals;
+mod goal;
 pub mod latch;
 mod rbp;
 pub mod reference;
@@ -65,6 +66,7 @@ mod stats;
 pub mod telemetry;
 
 pub use budget::{SearchBudget, SearchStage};
+pub use engine::EngineKind;
 pub use error::RouteError;
 pub use fastpath::FastPathSpec;
 pub use gals::GalsSpec;

@@ -29,8 +29,12 @@
 
 use crate::budget::{BudgetMeter, SearchStage};
 use crate::ctx::Ctx;
-use crate::engine::{Arena, Cand, DelayQueue, PruneTable, NO_PARENT};
+use crate::engine::{
+    Arena, Cand, CandArena, DelayQueue, DialQueue, EngineKind, PruneTable, SearchQueue,
+    SortedFronts, NO_PARENT,
+};
 use crate::failpoint::{self, FailAction};
+use crate::goal::{probe_rbp, GoalBound};
 use crate::telemetry::TelemetryHandle;
 use crate::{RbpSolution, RouteError, RoutedPath, SearchBudget, SearchStats};
 use clockroute_elmore::{GateId, GateLibrary, Technology};
@@ -105,6 +109,8 @@ pub struct RbpSpec<'a> {
     wire_bound: bool,
     budget: SearchBudget,
     telemetry: TelemetryHandle<'a>,
+    engine: EngineKind,
+    goal_prune: bool,
 }
 
 impl<'a> RbpSpec<'a> {
@@ -125,7 +131,26 @@ impl<'a> RbpSpec<'a> {
             wire_bound: true,
             budget: SearchBudget::unlimited(),
             telemetry: TelemetryHandle::none(),
+            engine: EngineKind::default(),
+            goal_prune: true,
         }
+    }
+
+    /// Selects the search substrate (default: [`EngineKind::Arena`]).
+    /// Both engines return identical routes; `Legacy` exists as the
+    /// equivalence reference.
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Enables or disables admissible goal pruning against the
+    /// canonical-path register bound (default: on; arena engine only).
+    /// Like [`wire_bound`](RbpSpec::wire_bound), this never changes the
+    /// result — only the amount of work.
+    pub fn goal_prune(mut self, on: bool) -> Self {
+        self.goal_prune = on;
+        self
     }
 
     /// Sets the source grid point.
@@ -214,6 +239,19 @@ impl<'a> RbpSpec<'a> {
 
     fn run(
         &self,
+        trace: Option<&mut WaveTrace>,
+        stats: &mut SearchStats,
+    ) -> Result<(RbpSolution, ()), RouteError> {
+        match self.engine {
+            EngineKind::Arena => self.run_arena(trace, stats),
+            EngineKind::Legacy => self.run_legacy(trace, stats),
+        }
+    }
+
+    /// The pre-rewrite substrate, kept verbatim as the equivalence
+    /// reference (DESIGN.md §15).
+    fn run_legacy(
+        &self,
         mut trace: Option<&mut WaveTrace>,
         stats: &mut SearchStats,
     ) -> Result<(RbpSolution, ()), RouteError> {
@@ -291,6 +329,7 @@ impl<'a> RbpSpec<'a> {
                         match self.tie_break {
                             TieBreak::FirstFound => {
                                 stats.arena_steps = arena.len() as u64;
+                                stats.front_comparisons = prune.comparisons();
                                 return Ok((
                                     self.build(&ctx, &arena, cand.trail, t_phi, *stats, total,
                                                sink_stage),
@@ -416,6 +455,7 @@ impl<'a> RbpSpec<'a> {
             if let Some((_, trail, source_stage, sink_stage)) = best.take() {
                 let total = source_stage;
                 stats.arena_steps = arena.len() as u64;
+                stats.front_comparisons = prune.comparisons();
                 return Ok((
                     self.build(&ctx, &arena, trail, t_phi, *stats, total, sink_stage),
                     (),
@@ -439,6 +479,7 @@ impl<'a> RbpSpec<'a> {
                 }
             };
             if next_wave.is_empty() {
+                stats.front_comparisons = prune.comparisons();
                 return Err(RouteError::NoFeasibleRoute);
             }
             stats.waves += 1;
@@ -457,6 +498,354 @@ impl<'a> RbpSpec<'a> {
                     &mut stats.pruned,
                 );
                 queue.push(cand.delay, cand);
+                stats.record_push(queue.len());
+            }
+        }
+    }
+
+    /// Arena-engine search: flat candidate storage, monotone bucket
+    /// queue, sorted Pareto fronts, and (optionally) admissible
+    /// wave-budget goal pruning. Returns exactly what
+    /// [`run_legacy`](RbpSpec::run_legacy) returns.
+    fn run_arena(
+        &self,
+        mut trace: Option<&mut WaveTrace>,
+        stats: &mut SearchStats,
+    ) -> Result<(RbpSolution, ()), RouteError> {
+        let t_phi = self.period.ok_or(RouteError::InvalidPeriod)?;
+        if t_phi.ps() <= 0.0 || !t_phi.is_finite() {
+            return Err(RouteError::InvalidPeriod);
+        }
+        let ctx = Ctx::new(
+            self.graph,
+            self.tech,
+            self.lib,
+            self.source,
+            self.sink,
+            self.source_gate,
+            self.sink_gate,
+        )?;
+        let t = t_phi.ps();
+        let slack_mode = self.tie_break == TieBreak::MaxEndpointSlack;
+
+        let graph = ctx.graph;
+        let n = graph.node_count();
+        let mut meter = BudgetMeter::new(self.budget, SearchStage::Rbp);
+        let mut arena = Arena::new();
+        let mut cands = CandArena::new();
+        let mut fronts = SortedFronts::new(n);
+        let mut reg_marked = vec![false; n];
+
+        let scale = ctx.queue_scale();
+        let mut queue = DialQueue::new(scale);
+        let mut spill: Vec<u32> = Vec::new();
+        let mut wave_queues: Vec<DialQueue> = Vec::new();
+
+        // Upper bound on the optimal register count from the canonical
+        // staircase probe. `None` disables goal pruning entirely.
+        let bound = GoalBound::new(&ctx);
+        let p_ub = if self.goal_prune {
+            probe_rbp(&ctx, t)
+        } else {
+            None
+        };
+
+        let gt = ctx.lib.gate(ctx.gt);
+        let root = arena.push(ctx.t, None, NO_PARENT);
+        let start = Cand::start(gt.input_cap().ff(), gt.setup().ps(), root, ctx.t);
+        let sidx = cands.alloc(&start);
+        if fronts.admits(ctx.t.index(), start.cap, start.delay, 0.0, false) {
+            fronts.insert(
+                ctx.t.index(),
+                start.cap,
+                start.delay,
+                0.0,
+                false,
+                sidx,
+                &mut cands,
+                &mut stats.pruned,
+            );
+        }
+        queue.push(start.delay, sidx);
+        stats.record_push(queue.len());
+
+        let mut best: Option<(f64, u32, f64, f64)> = None;
+
+        loop {
+            while let Some(qidx) = queue.pop() {
+                // Entry evicted from its front while queued: the slot was
+                // reclaimed, so skip before charging anything.
+                if cands.is_dead(qidx) {
+                    continue;
+                }
+                match failpoint::hit("rbp::pop") {
+                    Some(FailAction::Panic) => panic!("failpoint rbp::pop: forced panic"),
+                    Some(FailAction::BudgetExhausted) => return Err(meter.exceeded()),
+                    Some(FailAction::NoRoute) => return Err(RouteError::NoFeasibleRoute),
+                    // I/O actions only apply at `serve::*` sites; inert here.
+                    Some(FailAction::IoError | FailAction::ShortIo) | None => {}
+                }
+                let cand = cands.get(qidx);
+                stats.budget_charges += 1;
+                stats.arena_steps = arena.len() as u64;
+                meter.charge_pop(arena.len())?;
+                stats.configs += 1;
+                let extra = prune_extra(slack_mode, cand.sink_stage);
+                if fronts.is_stale(cand.node.index(), cand.cap, cand.delay, extra, !cand.gate_here)
+                {
+                    stats.stale_skipped += 1;
+                    continue;
+                }
+
+                // Step 4: source arrival.
+                if cand.node == ctx.s {
+                    let total = ctx.finish_at_source(cand.cap, cand.delay);
+                    if total <= t {
+                        let sink_stage = if cand.sink_stage.is_nan() {
+                            total
+                        } else {
+                            cand.sink_stage
+                        };
+                        match self.tie_break {
+                            TieBreak::FirstFound => {
+                                stats.arena_steps = arena.len() as u64;
+                                stats.front_comparisons = fronts.comparisons();
+                                return Ok((
+                                    self.build(&ctx, &arena, cand.trail, t_phi, *stats, total,
+                                               sink_stage),
+                                    (),
+                                ));
+                            }
+                            TieBreak::MaxEndpointSlack => {
+                                let slack_sum = (t - total) + (t - sink_stage);
+                                if best.is_none_or(|(s, ..)| slack_sum > s) {
+                                    best = Some((slack_sum, cand.trail, total, sink_stage));
+                                }
+                            }
+                        }
+                    }
+                    // An infeasible (or slack-mode) arrival keeps expanding
+                    // normally: other routes may pass through this node.
+                }
+
+                // Step 5: wire expansion with admissible bound.
+                for v in graph.neighbors(cand.node) {
+                    stats.budget_charges += 1;
+                    meter.charge_expand()?;
+                    let (re, ce) = ctx.edge(cand.node, v);
+                    let cap = cand.cap + ce;
+                    let delay = cand.delay + re * (cand.cap + ce / 2.0);
+                    if self.wire_bound
+                        && delay > t - ctx.reg_k - ctx.min_res * cap * 1.0e-3
+                    {
+                        stats.bound_rejected += 1;
+                        continue;
+                    }
+                    if let Some(p_ub) = p_ub {
+                        if bound.doomed_wave(
+                            graph.point(v),
+                            cap,
+                            delay,
+                            p_ub.saturating_sub(stats.waves),
+                            t,
+                        ) {
+                            stats.goal_pruned += 1;
+                            continue;
+                        }
+                    }
+                    if !fronts.admits(v.index(), cap, delay, extra, true) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    let trail = arena.push(v, None, cand.trail);
+                    let mut next = cand;
+                    next.cap = cap;
+                    next.delay = delay;
+                    next.node = v;
+                    next.trail = trail;
+                    next.gate_here = false;
+                    let nidx = cands.alloc(&next);
+                    fronts.insert(
+                        v.index(),
+                        cap,
+                        delay,
+                        extra,
+                        true,
+                        nidx,
+                        &mut cands,
+                        &mut stats.pruned,
+                    );
+                    queue.push(delay, nidx);
+                    stats.record_push(queue.len());
+                }
+
+                let internal = cand.node != ctx.s && cand.node != ctx.t && !cand.gate_here;
+
+                // Step 7: buffer insertion (`d' ≤ T_φ − K(r)` bound).
+                if internal && graph.is_insertable(cand.node) {
+                    for b in &ctx.buffers {
+                        stats.budget_charges += 1;
+                        meter.charge_expand()?;
+                        let cap = b.cap;
+                        let delay = cand.delay + b.res * cand.cap * 1.0e-3 + b.k;
+                        if delay > t - ctx.reg_k {
+                            stats.bound_rejected += 1;
+                            continue;
+                        }
+                        if let Some(p_ub) = p_ub {
+                            if bound.doomed_wave(
+                                graph.point(cand.node),
+                                cap,
+                                delay,
+                                p_ub.saturating_sub(stats.waves),
+                                t,
+                            ) {
+                                stats.goal_pruned += 1;
+                                continue;
+                            }
+                        }
+                        if !fronts.admits(cand.node.index(), cap, delay, extra, false) {
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        let trail = arena.push(cand.node, Some(b.id), cand.trail);
+                        let mut next = cand;
+                        next.cap = cap;
+                        next.delay = delay;
+                        next.trail = trail;
+                        next.gate_here = true;
+                        let nidx = cands.alloc(&next);
+                        fronts.insert(
+                            cand.node.index(),
+                            cap,
+                            delay,
+                            extra,
+                            false,
+                            nidx,
+                            &mut cands,
+                            &mut stats.pruned,
+                        );
+                        queue.push(delay, nidx);
+                        stats.record_push(queue.len());
+                    }
+                }
+
+                // Step 8: register insertion → next wave. Never goal-pruned:
+                // a claim resets the candidate to the register's own load,
+                // so the per-wave distance bound does not apply to it
+                // (DESIGN.md §15 claim-divergence argument).
+                if internal
+                    && graph.is_register_allowed(cand.node)
+                    && !reg_marked[cand.node.index()]
+                {
+                    let stage = ctx.register_stage(cand.cap, cand.delay);
+                    if stage <= t {
+                        reg_marked[cand.node.index()] = true;
+                        if let Some(trace) = trace.as_deref_mut() {
+                            let wave = stats.waves as usize;
+                            if trace.register_rings.len() <= wave {
+                                trace.register_rings.resize(wave + 1, Vec::new());
+                            }
+                            trace.register_rings[wave].push(graph.point(cand.node));
+                        }
+                        let trail = arena.push(cand.node, Some(ctx.reg_id), cand.trail);
+                        let mut next = cand;
+                        next.cap = ctx.reg_cap;
+                        next.delay = ctx.reg_setup;
+                        next.trail = trail;
+                        next.gate_here = true;
+                        if next.sink_stage.is_nan() {
+                            next.sink_stage = stage;
+                        }
+                        let nidx = cands.alloc(&next);
+                        match self.variant {
+                            RbpVariant::TwoQueue => spill.push(nidx),
+                            RbpVariant::QueueArray => {
+                                let idx = stats.waves as usize;
+                                if wave_queues.len() <= idx {
+                                    wave_queues.resize_with(idx + 1, || DialQueue::new(scale));
+                                }
+                                wave_queues[idx].push(next.delay, nidx);
+                            }
+                        }
+                    } else {
+                        stats.bound_rejected += 1;
+                    }
+                }
+            }
+
+            // Current wave exhausted.
+            if let Some((_, trail, source_stage, sink_stage)) = best.take() {
+                let total = source_stage;
+                stats.arena_steps = arena.len() as u64;
+                stats.front_comparisons = fronts.comparisons();
+                return Ok((
+                    self.build(&ctx, &arena, trail, t_phi, *stats, total, sink_stage),
+                    (),
+                ));
+            }
+
+            let next_wave: Vec<u32> = match self.variant {
+                RbpVariant::TwoQueue => std::mem::take(&mut spill),
+                RbpVariant::QueueArray => {
+                    let idx = stats.waves as usize;
+                    if wave_queues.len() <= idx {
+                        Vec::new()
+                    } else {
+                        let mut drained = Vec::new();
+                        // crlint-allow: CR005 bounded drain of entries already charged at push; no expansion work between pops
+                        while let Some(i) = wave_queues[idx].pop() {
+                            drained.push(i);
+                        }
+                        drained
+                    }
+                }
+            };
+            if next_wave.is_empty() {
+                stats.front_comparisons = fronts.comparisons();
+                return Err(RouteError::NoFeasibleRoute);
+            }
+            stats.waves += 1;
+            fronts.advance_wave();
+            for nidx in next_wave {
+                let cand = cands.get(nidx);
+                // A doomed seed cannot arrive feasibly within `p_ub`
+                // registers; its claim marking and trace ring entry are
+                // already recorded, so dropping the promotion only
+                // removes work (DESIGN.md §15).
+                if let Some(p_ub) = p_ub {
+                    if bound.doomed_wave(
+                        graph.point(cand.node),
+                        cand.cap,
+                        cand.delay,
+                        p_ub.saturating_sub(stats.waves),
+                        t,
+                    ) {
+                        stats.goal_pruned += 1;
+                        continue;
+                    }
+                }
+                stats.budget_charges += 1;
+                stats.promoted += 1;
+                meter.charge_expand()?;
+                let extra = prune_extra(slack_mode, cand.sink_stage);
+                // Mirrors the legacy unconditional promotion: file into the
+                // front when admissible, but push regardless — a dominated
+                // seed is caught by `is_stale` at its pop, exactly as the
+                // reference engine does.
+                if fronts.admits(cand.node.index(), cand.cap, cand.delay, extra, false) {
+                    fronts.insert(
+                        cand.node.index(),
+                        cand.cap,
+                        cand.delay,
+                        extra,
+                        false,
+                        nidx,
+                        &mut cands,
+                        &mut stats.pruned,
+                    );
+                }
+                queue.push(cand.delay, nidx);
                 stats.record_push(queue.len());
             }
         }

@@ -87,6 +87,14 @@ pub struct SearchStats {
     /// Budget-meter charges (pops + expansion steps) — the cooperative
     /// preemption points the search passed through.
     pub budget_charges: u64,
+    /// Candidates discarded by admissible goal pruning (arena engine
+    /// only; never removes a candidate the optimum needs).
+    #[serde(default)]
+    pub goal_pruned: u64,
+    /// Pairwise entry comparisons spent in dominance checks (binary
+    /// searches counted at their actual probe cost).
+    #[serde(default)]
+    pub front_comparisons: u64,
     /// Bounding box of the nodes the search examined, when tracked.
     /// `None` for searches that read unbounded grid state (coarsened
     /// retries, the unbuffered fallback).
@@ -118,7 +126,7 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "configs={} maxQ={} pushed={} pruned={} bound-rejected={} waves={} promoted={} arena={} charges={}",
+            "configs={} maxQ={} pushed={} pruned={} bound-rejected={} waves={} promoted={} arena={} charges={} goal-pruned={} front-cmps={}",
             self.configs,
             self.max_queue,
             self.pushed,
@@ -127,7 +135,9 @@ impl fmt::Display for SearchStats {
             self.waves,
             self.promoted,
             self.arena_steps,
-            self.budget_charges
+            self.budget_charges,
+            self.goal_pruned,
+            self.front_comparisons
         )
     }
 }

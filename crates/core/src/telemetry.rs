@@ -212,6 +212,8 @@ impl<'a> TelemetryHandle<'a> {
         emit("arena_steps", stats.arena_steps);
         emit("arena_bytes", stats.arena_bytes());
         emit("budget_charges", stats.budget_charges);
+        emit("goal_pruned", stats.goal_pruned);
+        emit("front_comparisons", stats.front_comparisons);
         sink.gauge_max(&format!("search.{stage}.max_queue"), stats.max_queue as u64);
         let span = format!("search.{stage}.solve_ns");
         sink.span_ns(&span, elapsed.as_nanos() as u64);

@@ -39,6 +39,7 @@
 pub mod calib;
 pub mod delay;
 pub mod gate;
+pub mod lower_bound;
 pub mod tech;
 
 pub use gate::{Gate, GateId, GateKind, GateLibrary};

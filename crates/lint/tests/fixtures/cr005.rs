@@ -30,3 +30,39 @@ fn rebuild(points: &mut Vec<u32>) {
         let _ = p;
     }
 }
+
+fn arena_search(queue: &mut Q, cands: &mut A, meter: &mut M) -> Option<u32> {
+    // GOOD: the arena loop shape — pop, skip dead entries, then charge.
+    while let Some(idx) = queue.pop() {
+        if cands.is_dead(idx) {
+            continue;
+        }
+        meter.charge_pop(cands.len())?;
+        for next in cands.successors(idx) {
+            meter.charge_expand()?;
+            queue.push(next);
+        }
+    }
+    None
+}
+
+fn uncharged_arena_search(queue: &mut Q, cands: &mut A) -> Option<u32> {
+    // BAD (line 52): skipping dead entries does not make the loop
+    // cancellable — the meter is never sampled.
+    while let Some(idx) = queue.pop() {
+        if cands.is_dead(idx) {
+            continue;
+        }
+        queue.push(idx);
+    }
+    None
+}
+
+fn drain_wave(wave_queue: &mut Q) {
+    // GOOD: a suppressed bounded drain — wave promotion re-queues
+    // candidates that were each charged at their original pop.
+    // crlint-allow: CR005 bounded drain; every entry was charged when first popped
+    while let Some(idx) = wave_queue.pop() {
+        let _ = idx;
+    }
+}

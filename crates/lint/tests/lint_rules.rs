@@ -109,7 +109,15 @@ fn cr004_fires_on_threads_and_static_mut() {
 #[test]
 fn cr005_fires_on_uncharged_queue_loops() {
     let got = run("cr005.rs", "crates/core/src/gals.rs");
-    assert_eq!(got, [("CR005".to_string(), 6)], "{got:?}");
+    // Line 6: the classic uncharged loop. Line 52: the arena-substrate
+    // shape (pop → dead-skip → expand) without a charge — the dead-skip
+    // alone must not read as cancellable. The charged arena loop and the
+    // suppressed bounded drain in the same fixture must stay clean.
+    assert_eq!(
+        got,
+        [("CR005".to_string(), 6), ("CR005".to_string(), 52)],
+        "{got:?}"
+    );
     // Outside the four search modules the rule is out of scope.
     assert!(run("cr005.rs", "crates/core/src/engine.rs").is_empty());
 }

@@ -14,6 +14,10 @@ cargo test --workspace --release -q
 # Differential fuzz suite against the exhaustive oracles (fixed seeds,
 # so a failure here reproduces exactly; see tests/differential.rs).
 cargo test --release -q --test differential
+# Substrate performance gate: re-run the arena engine on small grids and
+# fail if pops regressed >10% against the last BENCH_core.json rows
+# (bootstrap runs with no baseline pass; see DESIGN.md §15).
+cargo run --release -p clockroute-bench --bin corebench -- --check
 # Service smoke: one crserve session through every answer path, JSONL
 # validation, and the exit-code contract (see DESIGN.md §12).
 sh scripts/serve_smoke.sh

@@ -9,7 +9,7 @@
 //! reproduces by running the suite again; the panic message carries the
 //! full scenario dump needed to rebuild the failing instance by hand.
 
-use clockroute::core::reference;
+use clockroute::core::{reference, LatchSpec};
 use clockroute::geom::units::{CapPerLength, ResPerLength};
 use clockroute::prelude::*;
 use rand::rngs::StdRng;
@@ -297,6 +297,148 @@ fn gals_never_worse_than_oracle_on_random_scenarios() {
     assert!(checked >= 50, "GALS sample too small: {checked}");
     // The non-simple escape hatch must stay the exception, not the rule.
     assert!(exact * 2 > checked, "only {exact}/{checked} exact matches");
+}
+
+/// Old-vs-new equivalence mode: every search re-run on the same 200
+/// scenarios under the retained pre-rewrite substrate
+/// (`EngineKind::Legacy`) must return byte-identical *results* — same
+/// routed path, same optimal value, same feasibility verdict — as the
+/// default arena substrate. Stats legitimately differ (that is the
+/// point of the rewrite), so only results are compared here; the
+/// counter contract is pinned separately below.
+#[test]
+fn arena_engine_matches_legacy_reference_on_random_scenarios() {
+    let lib = GateLibrary::paper_library();
+    for i in 0..INSTANCES {
+        let sc = Scenario::generate(BASE_SEED + i);
+        let g = sc.graph();
+        let tech = sc.tech();
+        let t = Time::from_ps(sc.period_ps);
+        let tt = Time::from_ps(sc.sink_period_ps);
+
+        let fp = |e: EngineKind| {
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(sc.source())
+                .sink(sc.sink())
+                .engine(e)
+                .solve()
+                .map(|s| (s.path().clone(), s.delay()))
+        };
+        assert_equivalent(&sc, "fastpath", fp(EngineKind::Arena), fp(EngineKind::Legacy));
+
+        let rbp = |e: EngineKind| {
+            RbpSpec::new(&g, &tech, &lib)
+                .source(sc.source())
+                .sink(sc.sink())
+                .period(t)
+                .engine(e)
+                .solve()
+                .map(|s| (s.path().clone(), (s.register_count(), s.latency())))
+        };
+        assert_equivalent(&sc, "rbp", rbp(EngineKind::Arena), rbp(EngineKind::Legacy));
+
+        let gals = |e: EngineKind| {
+            GalsSpec::new(&g, &tech, &lib)
+                .source(sc.source())
+                .sink(sc.sink())
+                .periods(t, tt)
+                .engine(e)
+                .solve()
+                .map(|s| (s.path().clone(), s.latency()))
+        };
+        assert_equivalent(&sc, "gals", gals(EngineKind::Arena), gals(EngineKind::Legacy));
+
+        // Level-sensitive extension, with a deterministic borrow window
+        // derived from the scenario so the whole sweep stays seeded.
+        let b = Time::from_ps(sc.sink_period_ps * 0.25);
+        let latch = |e: EngineKind| {
+            LatchSpec::new(&g, &tech, &lib)
+                .source(sc.source())
+                .sink(sc.sink())
+                .period(t)
+                .borrow_window(b)
+                .engine(e)
+                .solve()
+                .map(|s| (s.path().clone(), (s.latch_count(), s.latency())))
+        };
+        assert_equivalent(&sc, "latch", latch(EngineKind::Arena), latch(EngineKind::Legacy));
+    }
+}
+
+/// `Ok` sides must be identical (paths compare exactly; `RoutedPath`
+/// is `PartialEq`), `Err` sides must both be `NoFeasibleRoute`.
+fn assert_equivalent<V: PartialEq + std::fmt::Debug>(
+    scenario: &Scenario,
+    what: &str,
+    arena: Result<(RoutedPath, V), RouteError>,
+    legacy: Result<(RoutedPath, V), RouteError>,
+) {
+    match (&arena, &legacy) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Err(RouteError::NoFeasibleRoute), Err(RouteError::NoFeasibleRoute)) => {}
+        _ => panic!(
+            "{what} engines diverged:\narena  {arena:?}\nlegacy {legacy:?}\n\
+             reproduce with: {scenario:#?}"
+        ),
+    }
+}
+
+/// Pins the satellite counter contract on a mid-size production grid:
+/// with goal pruning off, the arena substrate must generate *exactly*
+/// the work the legacy substrate does — same pushes, prunes, and
+/// Elmore bound rejections, and no more pops — while the sorted
+/// frontiers perform
+/// strictly fewer dominance comparisons than the legacy linear scans.
+/// This is the regression test for the `PruneTable::is_stale`
+/// whole-list walk: if the staircase frontier ever degrades back to
+/// linear scanning, `front_comparisons` climbs back to parity and this
+/// test fails.
+#[test]
+fn arena_substrate_reduces_comparisons_with_identical_telemetry() {
+    let lib = GateLibrary::paper_library();
+    let g = GridGraph::open(40, 40, Length::from_um(500.0));
+    let tech = Technology::paper_070nm();
+    let run = |e: EngineKind| {
+        FastPathSpec::new(&g, &tech, &lib)
+            .source(Point::new(4, 4))
+            .sink(Point::new(35, 35))
+            .engine(e)
+            .goal_prune(false)
+            .solve()
+            .expect("open grid is routable")
+    };
+    let arena = run(EngineKind::Arena);
+    let legacy = run(EngineKind::Legacy);
+
+    assert_eq!(arena.path(), legacy.path());
+    assert_eq!(arena.delay(), legacy.delay());
+    let (a, l) = (arena.stats(), legacy.stats());
+    // The arena kills dominated candidates while they are still queued
+    // and skips their corpses at pop time, so its pop count may only
+    // drop; every expansion it *does* perform is the same one legacy
+    // performs, which is what the exact push/prune/bound counts pin.
+    assert!(
+        a.configs <= l.configs,
+        "arena popped more than legacy: {} vs {}",
+        a.configs,
+        l.configs
+    );
+    assert_eq!(a.pushed, l.pushed);
+    assert_eq!(a.pruned, l.pruned);
+    assert_eq!(
+        a.bound_rejected, l.bound_rejected,
+        "bound-reject telemetry must be unchanged by the substrate"
+    );
+    // Strictly fewer on a real routing instance; the asymptotic win on
+    // long fronts is pinned by the proptest in `engine.rs`
+    // (`sorted_fronts_use_fewer_comparisons_on_long_uniform_fronts`).
+    assert!(
+        a.front_comparisons < l.front_comparisons,
+        "sorted frontiers should reduce dominance comparisons: \
+         arena {} vs legacy {}",
+        a.front_comparisons,
+        l.front_comparisons
+    );
 }
 
 #[test]

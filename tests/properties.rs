@@ -436,6 +436,132 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    // Metamorphic relations over the search *controls*: a pop budget or
+    // a goal bound may only cut work, never change which optimum comes
+    // back. These pin the two acceleration levers of the arena substrate
+    // (DESIGN.md §15) against silent result drift.
+
+    #[test]
+    fn tightening_pop_budget_never_changes_the_fastpath_optimum(
+        inst in instance(),
+        percent in 1u64..101,
+    ) {
+        use clockroute::core::SearchBudget;
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let run = |budget: SearchBudget| {
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(inst.source())
+                .sink(inst.sink())
+                .budget(budget)
+                .solve()
+        };
+        let full = run(SearchBudget::unlimited()).expect("connected");
+        let pops = full.stats().configs;
+        // A budget of exactly the unconstrained pop count must return
+        // the identical optimum — the meter trips strictly *after* the
+        // cap, so the full search fits.
+        let exact = run(SearchBudget::unlimited().with_max_candidates(pops))
+            .expect("the full pop count is budget enough");
+        prop_assert_eq!(exact.path(), full.path());
+        prop_assert_eq!(exact.delay(), full.delay());
+        // Any tighter cap: either the identical optimum or a clean
+        // BudgetExceeded — never a *different* "optimum".
+        let cap = (pops * percent / 100).max(1);
+        match run(SearchBudget::unlimited().with_max_candidates(cap)) {
+            Ok(sol) => {
+                prop_assert_eq!(sol.path(), full.path());
+                prop_assert_eq!(sol.delay(), full.delay());
+            }
+            Err(RouteError::BudgetExceeded { candidates, .. }) => {
+                prop_assert!(candidates > cap, "tripped early: {candidates} <= {cap}");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn tightening_pop_budget_never_changes_the_rbp_optimum(
+        inst in instance(),
+        percent in 1u64..101,
+    ) {
+        use clockroute::core::SearchBudget;
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        let t = Time::from_ps(inst.period_ps);
+        let run = |budget: SearchBudget| {
+            RbpSpec::new(&g, &tech, &lib)
+                .source(inst.source())
+                .sink(inst.sink())
+                .period(t)
+                .budget(budget)
+                .solve()
+        };
+        let full = match run(SearchBudget::unlimited()) {
+            Ok(sol) => sol,
+            // Timing-infeasible instance: nothing to compare against.
+            Err(RouteError::NoFeasibleRoute) => return,
+            Err(e) => panic!("unexpected error {e:?}"),
+        };
+        let pops = full.stats().configs;
+        let cap = (pops * percent / 100).max(1);
+        match run(SearchBudget::unlimited().with_max_candidates(cap)) {
+            Ok(sol) => {
+                prop_assert_eq!(sol.path(), full.path());
+                prop_assert_eq!(sol.register_count(), full.register_count());
+            }
+            Err(RouteError::BudgetExceeded { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn goal_pruning_never_prunes_the_returned_optimum(inst in instance()) {
+        let g = inst.graph();
+        let tech = Technology::paper_070nm();
+        let lib = GateLibrary::paper_library();
+        // Fast path: the Elmore lower bound may only discard lineages
+        // that provably cannot beat the incumbent, so the answer with
+        // pruning on must be byte-identical to the answer with it off.
+        let fast = |on: bool| {
+            FastPathSpec::new(&g, &tech, &lib)
+                .source(inst.source())
+                .sink(inst.sink())
+                .goal_prune(on)
+                .solve()
+                .expect("connected")
+        };
+        let (fon, foff) = (fast(true), fast(false));
+        prop_assert_eq!(fon.path(), foff.path());
+        prop_assert_eq!(fon.delay(), foff.delay());
+
+        // RBP: the probe-derived register upper bound dooms lineages
+        // that cannot finish within it; the optimum must survive.
+        let t = Time::from_ps(inst.period_ps);
+        let rbp = |on: bool| {
+            RbpSpec::new(&g, &tech, &lib)
+                .source(inst.source())
+                .sink(inst.sink())
+                .period(t)
+                .goal_prune(on)
+                .solve()
+        };
+        match (rbp(true), rbp(false)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.path(), b.path());
+                prop_assert_eq!(a.register_count(), b.register_count());
+            }
+            (Err(RouteError::NoFeasibleRoute), Err(RouteError::NoFeasibleRoute)) => {}
+            (a, b) => prop_assert!(false, "goal pruning changed the verdict: {a:?} vs {b:?}"),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct TinyInstance {
     width: u32,

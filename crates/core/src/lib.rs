@@ -59,6 +59,7 @@ mod fastpath;
 mod gals;
 mod goal;
 pub mod latch;
+pub mod lockcheck;
 mod rbp;
 pub mod reference;
 mod result;
@@ -71,6 +72,7 @@ pub use error::RouteError;
 pub use fastpath::FastPathSpec;
 pub use gals::GalsSpec;
 pub use latch::{LatchSolution, LatchSpec};
+pub use lockcheck::{LockRank, OrderedCondvar, OrderedMutex};
 pub use rbp::{RbpSpec, RbpVariant, TieBreak, WaveTrace};
 pub use result::{FastPathSolution, GalsSolution, RbpSolution, RoutedPath};
 pub use stats::{SearchStats, TouchedRegion};

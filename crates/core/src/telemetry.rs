@@ -23,11 +23,12 @@
 //! (JSONL event stream). [`Tee`] fans one instrumentation stream out to
 //! both.
 
+use crate::lockcheck::{LockRank, OrderedMutex};
 use crate::stats::SearchStats;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A telemetry field value (borrowed; sinks serialize immediately).
@@ -281,28 +282,38 @@ struct RecorderInner {
 /// (`MetricsRecorder::replay_into`). The planner gives each net its own
 /// shard and replays committed shards in net order, which is what makes
 /// the merged metrics independent of worker count and scheduling.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRecorder {
-    inner: Mutex<RecorderInner>,
+    /// Telemetry-ranked (the leaf of the lattice): a recorder may be
+    /// locked while any other lock is held, but must itself call out
+    /// to nothing. Poisoning is ridden through inside `OrderedMutex` —
+    /// telemetry must never take the search down.
+    inner: OrderedMutex<RecorderInner>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> MetricsRecorder {
+        MetricsRecorder::new()
+    }
 }
 
 impl MetricsRecorder {
     /// An empty recorder.
     pub fn new() -> MetricsRecorder {
-        MetricsRecorder::default()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
-        // Telemetry must never take the search down: a poisoned lock
-        // (a panic mid-record) keeps serving the surviving data.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        MetricsRecorder {
+            inner: OrderedMutex::new(LockRank::Telemetry, "telemetry.recorder", RecorderInner::default()),
+        }
     }
 
     /// Replays every recorded operation, in original call order, into
     /// another sink.
     pub fn replay_into(&self, sink: &dyn Telemetry) {
-        let inner = self.lock();
-        for op in &inner.log {
+        // Snapshot the log and release before replaying: the sink is
+        // typically another Telemetry-ranked recorder, and replaying
+        // under our own lock would be a same-rank double acquire (and
+        // a needlessly long hold).
+        let log: Vec<Op> = self.inner.lock().log.clone();
+        for op in &log {
             match op {
                 Op::Counter(name, delta) => sink.counter(name, *delta),
                 Op::Gauge(name, value) => sink.gauge_max(name, *value),
@@ -328,17 +339,17 @@ impl MetricsRecorder {
 
     /// Current value of a counter (0 if never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).copied().unwrap_or(0)
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Current value of a gauge (0 if never touched).
     pub fn gauge_value(&self, name: &str) -> u64 {
-        self.lock().gauges.get(name).copied().unwrap_or(0)
+        self.inner.lock().gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        self.lock()
+        self.inner.lock()
             .counters
             .iter()
             .map(|(k, v)| (k.clone(), *v))
@@ -347,7 +358,7 @@ impl MetricsRecorder {
 
     /// Snapshot of all gauges, sorted by name.
     pub fn gauges(&self) -> Vec<(String, u64)> {
-        self.lock()
+        self.inner.lock()
             .gauges
             .iter()
             .map(|(k, v)| (k.clone(), *v))
@@ -361,7 +372,7 @@ impl MetricsRecorder {
     /// a fixed scenario this output is byte-identical across runs and
     /// `--jobs` values.
     pub fn to_json(&self) -> String {
-        let inner = self.lock();
+        let inner = self.inner.lock();
         let mut out = String::from("{\n  \"counters\": {");
         let mut first = true;
         for (k, v) in &inner.counters {
@@ -396,7 +407,7 @@ impl MetricsRecorder {
     /// the report summary table. Deterministic for the same reason as
     /// [`to_json`](MetricsRecorder::to_json).
     pub fn summary_rows(&self) -> Vec<String> {
-        let inner = self.lock();
+        let inner = self.inner.lock();
         let width = inner
             .counters
             .keys()
@@ -415,26 +426,26 @@ impl MetricsRecorder {
 
 impl Telemetry for MetricsRecorder {
     fn counter(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.inner.lock();
         *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
         inner.log.push(Op::Counter(name.to_owned(), delta));
     }
 
     fn gauge_max(&self, name: &str, value: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.inner.lock();
         let slot = inner.gauges.entry(name.to_owned()).or_insert(0);
         *slot = (*slot).max(value);
         inner.log.push(Op::Gauge(name.to_owned(), value));
     }
 
     fn gauge_set(&self, name: &str, value: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.inner.lock();
         inner.gauges.insert(name.to_owned(), value);
         inner.log.push(Op::GaugeSet(name.to_owned(), value));
     }
 
     fn span_ns(&self, name: &str, nanos: u64) {
-        self.lock().log.push(Op::Span(name.to_owned(), nanos));
+        self.inner.lock().log.push(Op::Span(name.to_owned(), nanos));
     }
 
     fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
@@ -442,7 +453,7 @@ impl Telemetry for MetricsRecorder {
             .iter()
             .map(|(k, v)| ((*k).to_owned(), OwnedValue::of(v)))
             .collect();
-        self.lock().log.push(Op::Event(name.to_owned(), owned));
+        self.inner.lock().log.push(Op::Event(name.to_owned(), owned));
     }
 }
 
@@ -451,29 +462,26 @@ impl Telemetry for MetricsRecorder {
 /// must never fail a route.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write + Send> {
-    out: Mutex<W>,
+    out: OrderedMutex<W>,
 }
 
 impl<W: Write + Send> TraceWriter<W> {
     /// Wraps a writer (a `File`, a `Vec<u8>`, …).
     pub fn new(out: W) -> TraceWriter<W> {
         TraceWriter {
-            out: Mutex::new(out),
+            out: OrderedMutex::new(LockRank::Telemetry, "telemetry.trace", out),
         }
     }
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(self) -> W {
-        let mut w = self
-            .out
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut w = self.out.into_inner();
         let _ = w.flush();
         w
     }
 
     fn line(&self, text: &str) {
-        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = self.out.lock();
         let _ = writeln!(out, "{text}");
     }
 }

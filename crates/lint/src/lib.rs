@@ -14,6 +14,9 @@
 //! | CR005 | search queue loops are budget-cancellable | PR 2 promptness fix |
 //! | CR006 | report/serialization modules use ordered collections | PR 3 `--jobs` byte-identity |
 //! | CR007 | service reads untrusted streams only through the bounded frame reader | PR 6 crash-safety |
+//! | CR008 | no raw `std::sync` locks in threaded crates — ranked `lockcheck` wrappers only | PR 9 lock discipline |
+//! | CR009 | lock ranks are literal; guards stay lexical (no storing/returning) | PR 9 lock discipline |
+//! | CR010 | no condvar wait while another named guard is live | PR 9 lock discipline |
 //!
 //! Dependency-free by design (it gates the build that would build its
 //! dependencies). The binary is `crlint`; the library entry points are
@@ -189,6 +192,37 @@ pub fn run_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
+/// Verifies every path hardcoded in the rule allowlists
+/// ([`rules::allowlists`]) still exists under `root`, returning the
+/// dead entries as `"CRxxx: path"` strings (sorted, deduplicated).
+/// Entries ending in `/` must be directories; the rest must be files.
+///
+/// Allowlists rot silently: when `crates/service/src/frame.rs` moves,
+/// CR007's exemption stops matching and CR007 starts firing on a file
+/// that no longer exists while the *new* location goes unchecked — or
+/// worse, a scope list shrinks and a whole rule silently stops
+/// applying. The binary fails the run (exit 2) when this returns any
+/// entries.
+pub fn check_allowlists(root: &Path) -> Vec<String> {
+    let mut dead = Vec::new();
+    for (rule, list) in rules::allowlists() {
+        for entry in list {
+            let path = root.join(entry);
+            let alive = if entry.ends_with('/') {
+                path.is_dir()
+            } else {
+                path.is_file()
+            };
+            if !alive {
+                dead.push(format!("{rule}: {entry}"));
+            }
+        }
+    }
+    dead.sort();
+    dead.dedup();
+    dead
+}
+
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
@@ -227,12 +261,13 @@ pub fn to_json(findings: &[Finding]) -> String {
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"explain\":{}}}",
             json_str(&f.rule),
             json_str(&f.severity.to_string()),
             json_str(&f.path),
             f.line,
-            json_str(&f.message)
+            json_str(&f.message),
+            json_str(rules::explain_line(&f.rule).unwrap_or(""))
         ));
     }
     let errors = findings

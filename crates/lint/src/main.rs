@@ -1,11 +1,13 @@
 //! `crlint` — workspace static analysis for the clockroute invariants.
 //!
 //! ```text
-//! crlint --workspace [--json] [--root <dir>]
+//! crlint --workspace [--json] [--root <dir>] [--no-allowlist-check]
+//! crlint --explain CRxxx
 //! ```
 //!
 //! Exit codes mirror `crplan`: 0 clean, 1 findings, 2 internal error
-//! (bad arguments, unreadable tree). See DESIGN.md §11 for the rules.
+//! (bad arguments, unreadable tree, stale rule allowlist). See
+//! DESIGN.md §11 for the rules.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,15 +27,24 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<bool, String> {
     let mut workspace = false;
     let mut json = false;
+    let mut check_allowlists = true;
     let mut root: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--no-allowlist-check" => check_allowlists = false,
             "--root" => {
                 let dir = it.next().ok_or("--root requires a directory")?;
                 root = Some(PathBuf::from(dir));
+            }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain requires a rule ID (e.g. CR008)")?;
+                let text = clockroute_lint::rules::explain(&rule)
+                    .ok_or_else(|| format!("unknown rule `{rule}`; known rules: CR000..CR010"))?;
+                println!("{text}");
+                return Ok(true);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -55,6 +66,21 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         }
     };
 
+    // A stale allowlist means some rule is silently mis-scoped, which
+    // poisons every subsequent "clean" verdict — so it is an internal
+    // error (exit 2), not a finding.
+    if check_allowlists {
+        let dead = clockroute_lint::check_allowlists(&root);
+        if !dead.is_empty() {
+            return Err(format!(
+                "stale rule allowlist entr{} (file moved without updating \
+                 crates/lint/src/rules.rs?):\n  {}",
+                if dead.len() == 1 { "y" } else { "ies" },
+                dead.join("\n  ")
+            ));
+        }
+    }
+
     let findings = clockroute_lint::run_workspace(&root)?;
     if json {
         println!("{}", clockroute_lint::to_json(&findings));
@@ -72,10 +98,14 @@ fn run(args: Vec<String>) -> Result<bool, String> {
 }
 
 const USAGE: &str = "\
-usage: crlint --workspace [--json] [--root <dir>]
+usage: crlint --workspace [--json] [--root <dir>] [--no-allowlist-check]
+       crlint --explain CRxxx
 
-  --workspace   lint every first-party .rs file in the workspace
-  --json        machine-readable output (deterministic ordering)
-  --root <dir>  workspace root (default: walk up from the current dir)
+  --workspace           lint every first-party .rs file in the workspace
+  --json                machine-readable output (deterministic ordering)
+  --root <dir>          workspace root (default: walk up from the current dir)
+  --no-allowlist-check  skip verifying rule allowlist paths exist on disk
+  --explain CRxxx       print a rule's rationale, motivating bug, and
+                        suppression syntax
 
 exit codes: 0 clean, 1 findings, 2 internal error";

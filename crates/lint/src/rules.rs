@@ -10,8 +10,9 @@ use crate::scan::FileCtx;
 use crate::{Finding, Severity};
 
 /// All rule IDs, in report order.
-pub const RULE_IDS: [&str; 8] = [
-    "CR000", "CR001", "CR002", "CR003", "CR004", "CR005", "CR006", "CR007",
+pub const RULE_IDS: [&str; 11] = [
+    "CR000", "CR001", "CR002", "CR003", "CR004", "CR005", "CR006", "CR007", "CR008", "CR009",
+    "CR010",
 ];
 
 /// Crates whose non-test code must be panic-free (`unwrap`/`expect`):
@@ -87,6 +88,45 @@ const CR006_FILES: [&str; 15] = [
 /// length and time bounds that CR007 demands of everyone else.
 const CR007_EXEMPT_FILES: [&str; 1] = ["crates/service/src/frame.rs"];
 
+/// The threaded crates where CR008–CR010 enforce lock discipline:
+/// every lock must be a ranked `lockcheck` wrapper so the runtime rank
+/// checker covers the whole process — one raw `Mutex` is a hole in the
+/// deadlock-freedom proof.
+const CR008_THREADED_PATHS: [&str; 3] = [
+    "crates/core/src/",
+    "crates/plan/src/",
+    "crates/service/src/",
+];
+
+/// The one module allowed to touch `std::sync` primitives directly:
+/// the checked-lock wrapper itself (exempt from CR008–CR010 — it *is*
+/// the seam the rules force everyone else through).
+const CR008_EXEMPT_FILES: [&str; 1] = ["crates/core/src/lockcheck.rs"];
+
+/// Every hardcoded scope/allowlist, paired with the rule it serves.
+/// Entries ending in `/` are directory prefixes, the rest are files;
+/// [`crate::check_allowlists`] fails the whole run when one no longer
+/// exists on disk — a moved file must move its allowlist entry in the
+/// same commit, or the rule it configured silently stops applying.
+pub fn allowlists() -> Vec<(&'static str, &'static [&'static str])> {
+    vec![
+        ("CR002", &CR002_CRATES),
+        ("CR003", &CR003_ALLOWED_FILES),
+        ("CR004", &CR004_THREAD_PATHS),
+        ("CR005", &CR005_FILES),
+        ("CR006", &CR006_FILES),
+        ("CR007", &CR007_EXEMPT_FILES),
+        ("CR008", &CR008_THREADED_PATHS),
+        ("CR008", &CR008_EXEMPT_FILES),
+    ]
+}
+
+/// Shared scope test for the three lock-discipline rules.
+fn in_lock_discipline_scope(ctx: &FileCtx) -> bool {
+    CR008_THREADED_PATHS.iter().any(|p| ctx.rel.starts_with(p))
+        && !CR008_EXEMPT_FILES.contains(&ctx.rel.as_str())
+}
+
 /// Runs every rule over one file.
 pub fn check_file(ctx: &FileCtx, out: &mut Vec<Finding>) {
     cr001_partial_cmp(ctx, out);
@@ -96,6 +136,9 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Finding>) {
     cr005_uncharged_loops(ctx, out);
     cr006_unordered_collections(ctx, out);
     cr007_unbounded_reads(ctx, out);
+    cr008_raw_sync_primitives(ctx, out);
+    cr009_lock_construction_and_guards(ctx, out);
+    cr010_wait_with_extra_guards(ctx, out);
 }
 
 fn finding(ctx: &FileCtx, rule: &str, line: u32, message: String) -> Finding {
@@ -435,4 +478,428 @@ fn cr007_unbounded_reads(ctx: &FileCtx, out: &mut Vec<Finding>) {
             ),
         ));
     }
+}
+
+/// CR008 — raw `std::sync` lock construction in the threaded crates.
+/// A `Mutex`/`RwLock`/`Condvar` built outside `lockcheck.rs` is
+/// invisible to the rank checker: it can deadlock against the ranked
+/// locks without any runtime assert ever firing, so the deadlock-
+/// freedom argument of DESIGN.md §16 only holds if this never happens.
+fn cr008_raw_sync_primitives(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_lock_discipline_scope(ctx) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if matches!(name, "Mutex" | "RwLock" | "Condvar")
+            && ctx.path_sep(i + 1)
+            && ctx.ident(i + 3) == Some("new")
+            && ctx.sym(i + 4, '(')
+            && !ctx.in_test(ctx.line_of(i))
+        {
+            out.push(finding(
+                ctx,
+                "CR008",
+                ctx.line_of(i),
+                format!(
+                    "raw `{name}::new(` in a threaded crate bypasses the rank \
+                     checker; use `lockcheck::OrderedMutex`/`OrderedCondvar` \
+                     so the lock joins the workspace lock order"
+                ),
+            ));
+        }
+    }
+}
+
+/// Guard type names whose appearance anywhere in scope means a lock
+/// guard is being stored, returned, or otherwise given a non-lexical
+/// lifetime.
+const CR009_GUARD_TYPES: [&str; 4] = [
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "OrderedGuard",
+];
+
+/// CR009 — lock-construction and guard-lifetime discipline. Three
+/// patterns fire:
+/// 1. `OrderedMutex::new(` whose first argument is not a literal
+///    `LockRank::` path — the lattice must be greppable, not computed;
+/// 2. a `return` statement whose expression calls `.lock(` — the guard
+///    escapes the function, so its hold time is no longer visible at
+///    the acquisition site;
+/// 3. any guard *type name* ([`CR009_GUARD_TYPES`]) — naming the type
+///    is how guards end up in struct fields and signatures.
+fn cr009_lock_construction_and_guards(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_lock_discipline_scope(ctx) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        let line = ctx.line_of(i);
+        if ctx.in_test(line) {
+            continue;
+        }
+        // Pattern 1: `OrderedMutex::new(<not LockRank::...>`.
+        if name == "OrderedMutex"
+            && ctx.path_sep(i + 1)
+            && ctx.ident(i + 3) == Some("new")
+            && ctx.sym(i + 4, '(')
+            && !(ctx.ident(i + 5) == Some("LockRank") && ctx.path_sep(i + 6))
+        {
+            out.push(finding(
+                ctx,
+                "CR009",
+                line,
+                "`OrderedMutex::new(` must name its rank as a literal \
+                 `LockRank::…` so the whole lattice is greppable; a computed \
+                 rank hides the lock order from review"
+                    .to_string(),
+            ));
+        }
+        // Pattern 2: `return …/.lock(…` before the statement's `;`.
+        if name == "return" {
+            let mut depth = 0i64;
+            for j in (i + 1)..ctx.tokens.len() {
+                if ctx.sym(j, '(') || ctx.sym(j, '[') || ctx.sym(j, '{') {
+                    depth += 1;
+                } else if ctx.sym(j, ')') || ctx.sym(j, ']') || ctx.sym(j, '}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if ctx.sym(j, ';') && depth == 0 {
+                    break;
+                } else if ctx.sym(j, '.')
+                    && ctx.ident(j + 1) == Some("lock")
+                    && ctx.sym(j + 2, '(')
+                {
+                    out.push(finding(
+                        ctx,
+                        "CR009",
+                        ctx.line_of(j + 1),
+                        "returning a `.lock(` guard gives it a non-lexical \
+                         lifetime; do the guarded work here and return the \
+                         data, so hold times stay visible at the acquire site"
+                            .to_string(),
+                    ));
+                    break;
+                }
+            }
+        }
+        // Pattern 3: a guard type name in non-test code.
+        if CR009_GUARD_TYPES.contains(&name) {
+            out.push(finding(
+                ctx,
+                "CR009",
+                line,
+                format!(
+                    "`{name}` named outside lockcheck.rs: storing or passing \
+                     guards detaches their lifetime from the acquiring scope; \
+                     keep guards as local `let` bindings"
+                ),
+            ));
+        }
+    }
+}
+
+/// CR010 — condvar waits while other guards are live. Walks the token
+/// stream with a brace-depth tracker, registering every `let`-bound
+/// `.lock(` guard at its depth and dropping it on `drop(name)` or when
+/// its scope closes; a `.wait(`/`.wait_timeout(` whose first argument
+/// is not the *only* live binding fires.
+///
+/// This is the static shadow of the runtime condvar-purity check
+/// (which also catches guards this walker cannot see: `if let`
+/// scrutinee temporaries, guards threaded through helper calls).
+fn cr010_wait_with_extra_guards(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_lock_discipline_scope(ctx) {
+        return;
+    }
+    let mut depth = 0i64;
+    let mut live: Vec<(i64, String)> = Vec::new();
+    let mut i = 0;
+    while i < ctx.tokens.len() {
+        if ctx.sym(i, '{') {
+            depth += 1;
+        } else if ctx.sym(i, '}') {
+            depth -= 1;
+            live.retain(|&(d, _)| d <= depth);
+        } else if ctx.ident(i) == Some("let")
+            && !(i >= 1 && matches!(ctx.ident(i - 1), Some("if" | "while")))
+        {
+            // `let [mut] name = …;` — register `name` if the
+            // initializer calls `.lock(`. (`if let`/`while let`
+            // scrutinee temporaries are the runtime check's job.)
+            let mut j = i + 1;
+            if ctx.ident(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = ctx.ident(j) {
+                if name != "_" && ctx.sym(j + 1, '=') {
+                    let mut nest = 0i64;
+                    let mut locked = false;
+                    let mut k = j + 2;
+                    while k < ctx.tokens.len() {
+                        if ctx.sym(k, '(') || ctx.sym(k, '[') || ctx.sym(k, '{') {
+                            nest += 1;
+                        } else if ctx.sym(k, ')') || ctx.sym(k, ']') || ctx.sym(k, '}') {
+                            nest -= 1;
+                            if nest < 0 {
+                                break;
+                            }
+                        } else if ctx.sym(k, ';') && nest == 0 {
+                            break;
+                        } else if ctx.sym(k, '.')
+                            && ctx.ident(k + 1) == Some("lock")
+                            && ctx.sym(k + 2, '(')
+                        {
+                            locked = true;
+                        }
+                        k += 1;
+                    }
+                    if locked && !ctx.in_test(ctx.line_of(i)) {
+                        live.retain(|(_, n)| n != name); // rebind shadows
+                        live.push((depth, name.to_string()));
+                    }
+                }
+            }
+        } else if ctx.ident(i) == Some("drop")
+            && ctx.sym(i + 1, '(')
+            && ctx.sym(i + 3, ')')
+        {
+            if let Some(name) = ctx.ident(i + 2) {
+                live.retain(|(_, n)| n != name);
+            }
+        } else if ctx.sym(i, '.')
+            && matches!(ctx.ident(i + 1), Some("wait" | "wait_timeout"))
+            && ctx.sym(i + 2, '(')
+        {
+            let line = ctx.line_of(i + 1);
+            if !ctx.in_test(line) {
+                let waited = ctx.ident(i + 3);
+                let extras: Vec<&str> = live
+                    .iter()
+                    .map(|(_, n)| n.as_str())
+                    .filter(|n| Some(*n) != waited)
+                    .collect();
+                if !extras.is_empty() {
+                    out.push(finding(
+                        ctx,
+                        "CR010",
+                        line,
+                        format!(
+                            "condvar wait while guard(s) [{}] are still live; \
+                             a wait parks every lock the thread holds for an \
+                             unbounded time — drop them first",
+                            extras.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// One-line rationale per rule, embedded in every `--json` finding so
+/// CI annotations can say *why* without a second lookup. `None` for
+/// unknown rule IDs.
+pub fn explain_line(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "CR000" => "source file failed to lex; the other rules could not run on it",
+        "CR001" => "partial_cmp on float keys is NaN-unsound; delegate to total_cmp",
+        "CR002" => "unwrap/expect in core crates can panic mid-solve; return errors",
+        "CR003" => "wall-clock reads outside the budget/telemetry seams break --jobs byte-identity",
+        "CR004" => "thread creation outside the audited planner/service seams evades the commit protocol",
+        "CR005" => "search loops must sample the budget every iteration or deadlines go unenforced",
+        "CR006" => "unordered collections in report paths make output order nondeterministic",
+        "CR007" => "untrusted streams must go through the bounded frame reader or a peer can OOM the service",
+        "CR008" => "raw std::sync locks bypass the rank checker; use lockcheck::OrderedMutex",
+        "CR009" => "lock ranks must be literal and guards lexical, or the rank lattice is unauditable",
+        "CR010" => "a condvar wait parks every held lock for unbounded time; drop other guards first",
+        _ => return None,
+    })
+}
+
+/// Full `--explain CRxxx` text: what the rule bans, the motivating
+/// bug, and how to suppress it where the ban is wrong. `None` for
+/// unknown rule IDs.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "CR000" => {
+            "CR000 — lex failure.\n\
+             \n\
+             The file could not be tokenized (unterminated string or\n\
+             block comment), so none of the other rules ran on it. This\n\
+             is always a real problem: a file crlint cannot read is a\n\
+             file it cannot vouch for.\n\
+             \n\
+             Motivating bug: none — this is the analyzer's own integrity\n\
+             check.\n\
+             \n\
+             Suppression: not suppressible; fix the file."
+        }
+        "CR001" => {
+            "CR001 — NaN-unsound orderings.\n\
+             \n\
+             Bans `.partial_cmp(` in non-test code and `PartialOrd`\n\
+             impls that do not delegate to a total order. On f64 keys\n\
+             `partial_cmp` returns None for NaN; callers unwrap it or\n\
+             map None to Equal, silently corrupting heap order.\n\
+             \n\
+             Motivating bug: PR 2's search heap returned suboptimal\n\
+             routes when a degraded cost went NaN — the BinaryHeap\n\
+             invariant broke without panicking. Use `f64::total_cmp`.\n\
+             \n\
+             Suppression: `// crlint-allow: CR001 <reason>` on or above\n\
+             the line."
+        }
+        "CR002" => {
+            "CR002 — panics in the algorithmic core.\n\
+             \n\
+             Bans `unwrap`/`expect` in non-test code of the core crates\n\
+             (see the CR002 allowlist). The degradation ladder must be\n\
+             able to trust that a solve returns an error instead of\n\
+             unwinding mid-search.\n\
+             \n\
+             Motivating bug: PR 1 wrapped the planner in catch_unwind\n\
+             precisely because the core could panic; the rule makes the\n\
+             wrapper a second line of defense instead of the only one.\n\
+             \n\
+             Suppression: `// crlint-allow: CR002 <reason>` — used where\n\
+             an invariant genuinely guarantees Some/Ok (say why)."
+        }
+        "CR003" => {
+            "CR003 — wall-clock reads outside the timing seams.\n\
+             \n\
+             Bans `Instant::now`/`SystemTime::now` outside the budget\n\
+             meter, telemetry, and the admission gate. Everything else\n\
+             must be a pure function of its inputs so `--jobs N` output\n\
+             is byte-identical.\n\
+             \n\
+             Motivating bug: PR 3's parallel runner diffed report bytes\n\
+             across job counts; a stray timestamp in a report path is\n\
+             exactly the nondeterminism that contract forbids.\n\
+             \n\
+             Suppression: `// crlint-allow: CR003 <reason>`, or add the\n\
+             file to CR003_ALLOWED_FILES if it is a new timing seam."
+        }
+        "CR004" => {
+            "CR004 — thread creation outside audited seams.\n\
+             \n\
+             Bans `thread::spawn`/`Builder::new` outside the speculative\n\
+             planner and the service's accept loop and worker pool.\n\
+             Searches stay single-threaded and cancellable; concurrency\n\
+             lives behind the audited commit protocol.\n\
+             \n\
+             Motivating bug: the PR 3 speculation design review — a\n\
+             thread spawned inside a search can outlive its budget and\n\
+             write into freed scratch.\n\
+             \n\
+             Suppression: `// crlint-allow: CR004 <reason>`, or extend\n\
+             CR004_THREAD_PATHS for a new audited seam."
+        }
+        "CR005" => {
+            "CR005 — uncharged search loops.\n\
+             \n\
+             In the four label-correcting search modules, every\n\
+             `while let Some(...) = ...pop` loop must call the budget\n\
+             charge/poll in its body, or a blown deadline is never\n\
+             noticed.\n\
+             \n\
+             Motivating bug: PR 2's promptness fix — expansion and\n\
+             promotion loops ran arbitrarily long past the deadline\n\
+             because only the outer loop sampled it.\n\
+             \n\
+             Suppression: `// crlint-allow: CR005 <reason>` for loops\n\
+             that provably cannot run unbounded."
+        }
+        "CR006" => {
+            "CR006 — unordered collections in report paths.\n\
+             \n\
+             Bans HashMap/HashSet (construction *or* type mention) in\n\
+             modules whose output is byte-compared across `--jobs`. A\n\
+             map that is only probed today becomes one that is iterated\n\
+             tomorrow; BTreeMap/BTreeSet cost little and order\n\
+             deterministically.\n\
+             \n\
+             Motivating bug: PR 3's `--jobs` byte-identity test — hash\n\
+             iteration order varies per process, so one HashMap in a\n\
+             render path fails the diff nondeterministically.\n\
+             \n\
+             Suppression: `// crlint-allow: CR006 <reason>`."
+        }
+        "CR007" => {
+            "CR007 — unbounded reads from untrusted streams.\n\
+             \n\
+             Bans `read_line`/`read_to_end`/`read_to_string` on sockets\n\
+             and stdio outside the bounded frame reader. A peer that\n\
+             never sends a newline must cost a bounded buffer, not the\n\
+             process.\n\
+             \n\
+             Motivating bug: PR 6's crash-safety review — the original\n\
+             line reader allocated without limit on attacker-controlled\n\
+             input.\n\
+             \n\
+             Suppression: `// crlint-allow: CR007 <reason>`, or route\n\
+             the read through `frame::FrameReader`."
+        }
+        "CR008" => {
+            "CR008 — raw std::sync primitives in threaded crates.\n\
+             \n\
+             Bans `Mutex::new`/`RwLock::new`/`Condvar::new` outside\n\
+             `core/src/lockcheck.rs` in the threaded crates. Every lock\n\
+             must be a ranked `OrderedMutex`/`OrderedCondvar` so the\n\
+             runtime rank checker sees the whole process: one raw Mutex\n\
+             is a hole in the deadlock-freedom argument, because a cycle\n\
+             through it is invisible to the checker.\n\
+             \n\
+             Motivating bug: PR 8's shard review — the single-flight\n\
+             protocol nests pending inside cache locks; a refactor that\n\
+             inverted the nesting would deadlock only under load, which\n\
+             is exactly when it would first run.\n\
+             \n\
+             Suppression: `// crlint-allow: CR008 <reason>` — reserved\n\
+             for locks provably never held across another acquire."
+        }
+        "CR009" => {
+            "CR009 — non-literal ranks and escaping guards.\n\
+             \n\
+             Three patterns: (1) `OrderedMutex::new` whose first\n\
+             argument is not a literal `LockRank::...` — computed ranks\n\
+             defeat grep-auditability of the lattice; (2) `return` of an\n\
+             expression containing `.lock(` — a guard that escapes its\n\
+             acquiring function detaches hold time from lexical scope;\n\
+             (3) naming a guard type (`MutexGuard`, `OrderedGuard`, ...)\n\
+             in a signature or field, which is how guards get stored.\n\
+             \n\
+             Motivating bug: the lockcheck design itself — the runtime\n\
+             checker's reports are only legible if every rank in the\n\
+             program can be found by grepping for `LockRank::`.\n\
+             \n\
+             Suppression: `// crlint-allow: CR009 <reason>`."
+        }
+        "CR010" => {
+            "CR010 — condvar wait with other guards live.\n\
+             \n\
+             A `wait`/`wait_timeout` call releases only the waited lock;\n\
+             every other guard the thread holds stays locked for the\n\
+             entire (unbounded) park. The walker tracks let-bound\n\
+             `.lock(` guards per scope and fires when a wait happens\n\
+             while any other named guard is live.\n\
+             \n\
+             This is the static shadow of the runtime check\n\
+             (`OrderedCondvar::wait` asserts the held-rank stack is\n\
+             exactly the waited rank, catching guards this walker cannot\n\
+             see).\n\
+             \n\
+             Motivating bug: the shard single-flight wait loop — waiting\n\
+             on `done` while holding a cache guard would stall every\n\
+             reader of that shard behind a parked thread.\n\
+             \n\
+             Suppression: `// crlint-allow: CR010 <reason>`."
+        }
+        _ => return None,
+    })
 }

@@ -1,0 +1,33 @@
+//! CR008 fixture: raw `std::sync` primitives in a threaded crate.
+use std::sync::{Condvar, Mutex, RwLock};
+use clockroute_core::lockcheck::{LockRank, OrderedMutex};
+
+pub fn bad() {
+    let m = Mutex::new(0u32);
+    let r = RwLock::new(0u32);
+    let c = Condvar::new();
+    drop((m, r, c));
+}
+
+// A ranked lock is the sanctioned construction.
+pub fn good() -> OrderedMutex<u32> {
+    OrderedMutex::new(LockRank::Cache, "fixture.good", 0)
+}
+
+// An explicitly justified exception stays quiet.
+pub fn suppressed() {
+    // crlint-allow: CR008 fixture demonstrates the suppression path
+    let m = Mutex::new(0u32);
+    drop(m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_scope_may_use_raw_locks() {
+        let m = Mutex::new(1u32);
+        drop(m);
+    }
+}

@@ -1,0 +1,27 @@
+//! CR009 fixture: computed ranks, escaping guards, named guard types.
+use clockroute_core::lockcheck::{LockRank, OrderedMutex};
+
+fn rank_for_cache() -> LockRank {
+    LockRank::Cache
+}
+
+pub fn bad_computed_rank() -> OrderedMutex<u32> {
+    OrderedMutex::new(rank_for_cache(), "fixture.computed", 0)
+}
+
+pub fn bad_escaping_guard(m: &OrderedMutex<u32>) -> Guard {
+    return m.lock();
+}
+
+pub struct BadHolder<'a> {
+    held: std::sync::MutexGuard<'a, u32>,
+}
+
+pub fn good_literal_rank() -> OrderedMutex<u32> {
+    OrderedMutex::new(LockRank::Cache, "fixture.literal", 0)
+}
+
+pub fn good_lock_and_release(m: &OrderedMutex<u32>) -> u32 {
+    let g = m.lock();
+    *g
+}

@@ -1,0 +1,33 @@
+//! CR010 fixture: condvar waits while other guards are live.
+use clockroute_core::lockcheck::{LockRank, OrderedCondvar, OrderedMutex};
+
+pub fn bad_wait_with_extra(a: &OrderedMutex<u32>, b: &OrderedMutex<u32>, cv: &OrderedCondvar) {
+    let outer = a.lock();
+    let mut inner = b.lock();
+    while *inner == 0 {
+        inner = cv.wait(inner);
+    }
+    drop(outer);
+}
+
+pub fn good_wait_alone(b: &OrderedMutex<u32>, cv: &OrderedCondvar) {
+    let mut inner = b.lock();
+    while *inner == 0 {
+        inner = cv.wait(inner);
+    }
+}
+
+pub fn good_drop_before_wait(a: &OrderedMutex<u32>, b: &OrderedMutex<u32>, cv: &OrderedCondvar) {
+    let outer = a.lock();
+    drop(outer);
+    let inner = b.lock();
+    let (guard, _timeout) = cv.wait_timeout(inner, timeout_ms());
+    drop(guard);
+}
+
+pub fn bad_wait_timeout(a: &OrderedMutex<u32>, cv: &OrderedCondvar, b: &OrderedMutex<u32>) {
+    let held = a.lock();
+    let parked = b.lock();
+    let _ = cv.wait_timeout(parked, timeout_ms());
+    drop(held);
+}

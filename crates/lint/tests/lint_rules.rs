@@ -162,6 +162,57 @@ fn cr007_fires_on_unbounded_service_reads() {
 }
 
 #[test]
+fn cr008_fires_on_raw_sync_primitives_in_threaded_crates() {
+    let got = run("cr008.rs", "crates/core/src/engine.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR008".to_string(), 6), // Mutex::new
+            ("CR008".to_string(), 7), // RwLock::new
+            ("CR008".to_string(), 8), // Condvar::new
+        ],
+        "{got:?}"
+    );
+    // The checked-lock module itself is the one exemption.
+    assert!(run("cr008.rs", "crates/core/src/lockcheck.rs").is_empty());
+    // Outside the threaded crates the rule is out of scope.
+    assert!(run("cr008.rs", "crates/cli/src/lib.rs").is_empty());
+    // Integration tests are test scope by path.
+    assert!(run("cr008.rs", "crates/service/tests/x.rs").is_empty());
+}
+
+#[test]
+fn cr009_fires_on_computed_ranks_and_escaping_guards() {
+    let got = run("cr009.rs", "crates/service/src/shard.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR009".to_string(), 9),  // computed rank argument
+            ("CR009".to_string(), 13), // returning a .lock( guard
+            ("CR009".to_string(), 17), // MutexGuard named in a field
+        ],
+        "{got:?}"
+    );
+    assert!(run("cr009.rs", "crates/core/src/lockcheck.rs").is_empty());
+    assert!(run("cr009.rs", "crates/bench/src/lib.rs").is_empty());
+}
+
+#[test]
+fn cr010_fires_on_waits_with_extra_guards_live() {
+    let got = run("cr010.rs", "crates/service/src/pool.rs");
+    assert_eq!(
+        got,
+        [
+            ("CR010".to_string(), 8),  // wait while `outer` is live
+            ("CR010".to_string(), 31), // wait_timeout while `held` is live
+        ],
+        "{got:?}"
+    );
+    assert!(run("cr010.rs", "crates/core/src/lockcheck.rs").is_empty());
+    assert!(run("cr010.rs", "crates/cli/src/main.rs").is_empty());
+}
+
+#[test]
 fn cr000_requires_reason_and_known_rule() {
     let got = run("cr000.rs", "crates/core/src/x.rs");
     assert_eq!(
@@ -230,4 +281,81 @@ fn deleting_a_budget_charge_fails_cr005() {
             "removing charges from {rel} must trip CR005: {findings:?}"
         );
     }
+}
+
+#[test]
+fn reverting_a_ranked_lock_to_std_mutex_fails_cr008() {
+    for rel in [
+        "crates/service/src/shard.rs",
+        "crates/service/src/pool.rs",
+        "crates/core/src/telemetry.rs",
+    ] {
+        let src = real_source(rel);
+        assert!(
+            lint_source(rel, &src).is_empty(),
+            "{rel} should be crlint-clean as shipped"
+        );
+        // Undo the lockcheck migration the way a careless revert would.
+        let broken = src.replace("OrderedMutex::new(", "Mutex::new(");
+        assert_ne!(src, broken, "{rel} lost its OrderedMutex anchor");
+        let findings = lint_source(rel, &broken);
+        assert!(
+            findings.iter().any(|f| f.rule == "CR008"),
+            "reverting {rel} to raw Mutex must trip CR008: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn computing_a_lock_rank_fails_cr009() {
+    let rel = "crates/service/src/shard.rs";
+    let src = real_source(rel);
+    assert!(lint_source(rel, &src).is_empty());
+    // Route the rank through a helper call instead of a literal.
+    let broken = src.replace(
+        "OrderedMutex::new(LockRank::",
+        "OrderedMutex::new(rank_of(LockRank::",
+    );
+    assert_ne!(src, broken, "{rel} lost its literal-rank anchor");
+    let findings = lint_source(rel, &broken);
+    assert!(
+        findings.iter().any(|f| f.rule == "CR009"),
+        "computing a rank in {rel} must trip CR009: {findings:?}"
+    );
+}
+
+#[test]
+fn deleting_a_lock_rank_argument_fails_cr009() {
+    let rel = "crates/core/src/telemetry.rs";
+    let src = real_source(rel);
+    assert!(lint_source(rel, &src).is_empty());
+    // Drop the rank argument entirely, as if OrderedMutex had a
+    // one-argument constructor.
+    let broken = src.replace("OrderedMutex::new(LockRank::Telemetry, ", "OrderedMutex::new(");
+    assert_ne!(src, broken, "{rel} lost its rank-argument anchor");
+    let findings = lint_source(rel, &broken);
+    assert!(
+        findings.iter().any(|f| f.rule == "CR009"),
+        "deleting the rank argument in {rel} must trip CR009: {findings:?}"
+    );
+}
+
+#[test]
+fn hoisting_a_guard_across_a_wait_fails_cr010() {
+    let rel = "crates/service/src/shard.rs";
+    let src = real_source(rel);
+    assert!(lint_source(rel, &src).is_empty());
+    // Seed a second live guard around the single-flight wait loop, the
+    // shape a "just peek at the cache while we wait" patch would take.
+    let anchor = "pending = shard.done.wait(pending);";
+    assert!(src.contains(anchor), "{rel} lost its wait-loop anchor");
+    let broken = src.replace(
+        anchor,
+        "let peek = shard.cache.lock();\n                pending = shard.done.wait(pending);",
+    );
+    let findings = lint_source(rel, &broken);
+    assert!(
+        findings.iter().any(|f| f.rule == "CR010"),
+        "waiting with a second guard live in {rel} must trip CR010: {findings:?}"
+    );
 }

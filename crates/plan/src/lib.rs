@@ -97,6 +97,7 @@
 
 use clockroute_core::{
     failpoint::{self, FailAction},
+    lockcheck,
     telemetry::Value,
     FastPathSpec, GalsSpec, MetricsRecorder, RbpSpec, RouteError, RoutedPath, SearchBudget,
     SearchStage, Telemetry, TelemetryHandle, TouchedRegion,
@@ -703,6 +704,11 @@ impl Planner {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        // A checked lock held across a solve would
+                        // serialize the whole round (and a rank below
+                        // Telemetry would trip when the shard recorder
+                        // locks); pin "workers start lock-free".
+                        lockcheck::assert_lock_free("plan.speculate worker");
                         let mut mine = Vec::new();
                         loop {
                             let k = cursor.fetch_add(1, Ordering::Relaxed);
@@ -750,6 +756,11 @@ impl Planner {
         outcome: Outcome,
         shard: MetricsRecorder,
     ) -> (NetResult, Option<TouchedRegion>) {
+        // Commit replays a Telemetry-ranked shard into a
+        // Telemetry-ranked aggregate; that is only rank-clean because
+        // nothing else is held here (replay snapshots the shard's log
+        // before locking the sink — see MetricsRecorder::replay_into).
+        lockcheck::assert_lock_free("plan.commit");
         if let Some(t) = &self.telemetry {
             shard.replay_into(t.sink());
             let sink = t.sink();

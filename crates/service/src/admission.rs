@@ -10,6 +10,17 @@
 //! too-large request always gets the same `busy` response; only the
 //! in-flight permit count (a concurrency limit) and the search
 //! deadline depend on runtime conditions.
+//!
+//! Admission is also deliberately **lock-free** (one CAS loop on an
+//! atomic permit count), so it sits *outside* the
+//! [`clockroute_core::lockcheck`] rank lattice: a permit can be
+//! acquired or released at any point of the request path without
+//! interacting with the ranked locks. That is an invariant worth
+//! keeping — giving admission a mutex would force it a rank below
+//! `Pool`, i.e. it could never be touched from inside a pooled worker
+//! that holds anything. The permit itself, like a `SolveSlot` claim,
+//! is a *resource* the rank checker cannot see; its release-on-drop
+//! discipline is covered by the inflight-accounting tests instead.
 
 use clockroute_core::SearchBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};

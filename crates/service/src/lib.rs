@@ -34,10 +34,18 @@
 //! ([`server::install_signal_handlers`]). Clients pace themselves with
 //! the deterministic [`retry`] backoff policy.
 //!
+//! Every lock in the crate is a ranked
+//! [`clockroute_core::lockcheck::OrderedMutex`]
+//! (`Pool < Pending < Cache < Persist < Telemetry`), so the documented
+//! lock order — pending before cache, never two shards, waits hold
+//! exactly the waited lock — is asserted at runtime in debug/lockcheck
+//! builds and statically by crlint CR008–CR010.
+//!
 //! See DESIGN.md §12 for the protocol grammar and the warm-start
 //! soundness argument, §13 for the persistence format and the shutdown
-//! state machine, and §14 for the sharding, single-flight, and
-//! lock-order story.
+//! state machine, §14 for the sharding, single-flight, and lock-order
+//! story, and §16 for the rank lattice and what the lockcheck gates
+//! prove.
 
 pub mod admission;
 pub mod cache;

@@ -43,6 +43,7 @@ use clockroute_cli::report;
 use clockroute_cli::scenario::Scenario;
 use clockroute_core::canon::CanonHasher;
 use clockroute_core::failpoint::{self, FailAction};
+use clockroute_core::lockcheck::{LockRank, OrderedMutex};
 use clockroute_core::{RouteError, RoutedPath, SearchStage, TouchedRegion};
 use clockroute_elmore::{GateLibrary, Technology};
 use clockroute_geom::units::{CapPerLength, Length, ResPerLength, Time};
@@ -721,6 +722,57 @@ impl SnapshotLog {
         self.file.flush()?;
         persist_fault("serve::fsync")?;
         self.file.sync_data()
+    }
+}
+
+/// The service's shared handle on its (optional) snapshot log: an
+/// `Option<SnapshotLog>` behind the one [`LockRank::Persist`] lock in
+/// the workspace. Workers append through it concurrently; `None` means
+/// the service runs without persistence (by configuration or after an
+/// unrecoverable open failure).
+///
+/// Persist ranks above the shard locks — a leader appends its record
+/// while its `SolveSlot` claim is held but after every shard guard has
+/// dropped — and below telemetry, so error counters can be bumped with
+/// the slot released.
+#[derive(Debug)]
+pub struct LogSlot {
+    slot: OrderedMutex<Option<SnapshotLog>>,
+}
+
+impl LogSlot {
+    /// Wraps an opened log (or `None` for a persistence-free service).
+    pub fn new(log: Option<SnapshotLog>) -> LogSlot {
+        LogSlot {
+            slot: OrderedMutex::new(LockRank::Persist, "persist.log", log),
+        }
+    }
+
+    /// `true` when a snapshot log is live (persistence configured and
+    /// healthy).
+    pub fn is_live(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+
+    /// Swaps in a freshly opened log (after compaction renamed the old
+    /// file away, so later appends land in the new inode).
+    pub fn replace(&self, log: SnapshotLog) {
+        *self.slot.lock() = Some(log);
+    }
+
+    /// Appends one encoded entry if a log is live; a slot without a
+    /// log accepts silently (running without persistence is a counted,
+    /// non-fatal mode — the caller only hears about real I/O errors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotLog::append`] failures; the log has already
+    /// rolled its torn tail back when this returns `Err`.
+    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
+        match self.slot.lock().as_mut() {
+            Some(log) => log.append(payload),
+            None => Ok(()),
+        }
     }
 }
 

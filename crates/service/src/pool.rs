@@ -13,13 +13,9 @@
 //! thread-spawn site for crlint CR004 — threads are created in exactly
 //! one place here, inside [`run`]'s scope.
 
+use clockroute_core::lockcheck::{LockRank, OrderedCondvar, OrderedMutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::thread;
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
 
 #[derive(Debug)]
 struct QueueState<T> {
@@ -30,13 +26,19 @@ struct QueueState<T> {
 /// A bounded MPMC queue: `push` blocks while full, `pop` blocks while
 /// empty, and [`close`](JobQueue::close) drains then releases every
 /// waiter.
+///
+/// `state` is the *lowest*-ranked lock in the workspace
+/// ([`LockRank::Pool`]): it is never held while calling into a job —
+/// both waits hold `state` alone, which the lockcheck condvar-purity
+/// rule asserts — so pool dispatch can precede every other lock a job
+/// goes on to take.
 #[derive(Debug)]
 pub struct JobQueue<T> {
-    state: Mutex<QueueState<T>>,
+    state: OrderedMutex<QueueState<T>>,
     /// Signalled when an item arrives or the queue closes.
-    added: Condvar,
+    added: OrderedCondvar,
     /// Signalled when an item leaves (backpressure release) or closes.
-    removed: Condvar,
+    removed: OrderedCondvar,
     bound: usize,
 }
 
@@ -45,12 +47,16 @@ impl<T> JobQueue<T> {
     /// at least 1).
     pub fn new(bound: usize) -> JobQueue<T> {
         JobQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            added: Condvar::new(),
-            removed: Condvar::new(),
+            state: OrderedMutex::new(
+                LockRank::Pool,
+                "pool.state",
+                QueueState {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
+            added: OrderedCondvar::new(),
+            removed: OrderedCondvar::new(),
             bound: bound.max(1),
         }
     }
@@ -58,12 +64,9 @@ impl<T> JobQueue<T> {
     /// Enqueues `item`, blocking while the queue is full. Returns
     /// `false` (dropping the item) if the queue closed first.
     pub fn push(&self, item: T) -> bool {
-        let mut state = lock(&self.state);
+        let mut state = self.state.lock();
         while state.items.len() >= self.bound && !state.closed {
-            state = match self.removed.wait(state) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            state = self.removed.wait(state);
         }
         if state.closed {
             return false;
@@ -77,7 +80,7 @@ impl<T> JobQueue<T> {
     /// Dequeues the next item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = lock(&self.state);
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -87,24 +90,21 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
-            state = match self.added.wait(state) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            state = self.added.wait(state);
         }
     }
 
     /// Closes the queue: pushes start failing, pops drain what is left
     /// and then return `None`. Idempotent.
     pub fn close(&self) {
-        lock(&self.state).closed = true;
+        self.state.lock().closed = true;
         self.added.notify_all();
         self.removed.notify_all();
     }
 
     /// Items currently queued (racy snapshot, for telemetry).
     pub fn depth(&self) -> usize {
-        lock(&self.state).items.len()
+        self.state.lock().items.len()
     }
 }
 

@@ -23,12 +23,12 @@ use crate::admission::{Admission, RequestTimer};
 use crate::cache::{Solved, WarmPrior};
 use crate::frame::{self, Frame, FrameReader};
 use crate::keys::{base_key, scenario_key};
-use crate::persist::{self, SnapshotLog};
+use crate::persist::{self, LogSlot, SnapshotLog};
 use crate::pool;
 use crate::protocol::{self, Op, Request};
 use crate::shard::{Lookup, ShardedCache};
 use clockroute_cli::{report, scenario};
-use clockroute_core::{MetricsRecorder, Telemetry};
+use clockroute_core::{lockcheck, MetricsRecorder, Telemetry};
 use clockroute_elmore::GateLibrary;
 use clockroute_grid::GridGraph;
 use clockroute_plan::{Planner, SharedTelemetry, TracedPlan};
@@ -37,7 +37,7 @@ use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -129,7 +129,7 @@ pub struct Service {
     admission: Admission,
     metrics: Arc<MetricsRecorder>,
     shutdown: AtomicBool,
-    snapshot_log: Mutex<Option<SnapshotLog>>,
+    snapshot_log: LogSlot,
 }
 
 /// Set by the process signal handlers (SIGINT/SIGTERM); every service
@@ -181,6 +181,12 @@ impl Service {
     pub fn new(config: ServiceConfig) -> Service {
         let admission = Admission::new(config.max_inflight, config.max_nets, config.budget_ms);
         let metrics = Arc::new(MetricsRecorder::new());
+        // Lock-order violations panic the offending thread; routing
+        // them through the aggregate recorder first means a postmortem
+        // metrics dump shows `lockcheck.violations` alongside whatever
+        // else the request was doing. Global last-install-wins: one
+        // process runs one service outside of tests.
+        lockcheck::install_sink(Some(metrics.clone()));
         let shards = if config.shards == 0 {
             thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -196,7 +202,7 @@ impl Service {
             admission,
             metrics,
             shutdown: AtomicBool::new(false),
-            snapshot_log: Mutex::new(snapshot_log),
+            snapshot_log: LogSlot::new(snapshot_log),
             config,
         }
     }
@@ -290,11 +296,7 @@ impl Service {
         persist::rewrite(dir, &payloads)?;
         // The old handle points at the renamed-over inode; reopen so
         // later appends land in the new file.
-        let mut slot = match self.snapshot_log.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *slot = Some(SnapshotLog::open(dir)?);
+        self.snapshot_log.replace(SnapshotLog::open(dir)?);
         Ok(())
     }
 
@@ -469,10 +471,7 @@ impl Service {
     /// `true` when a snapshot log is live (persistence configured and
     /// healthy).
     fn persists(&self) -> bool {
-        match self.snapshot_log.lock() {
-            Ok(guard) => guard.is_some(),
-            Err(poisoned) => poisoned.into_inner().is_some(),
-        }
+        self.snapshot_log.is_live()
     }
 
     /// Appends one encoded entry to the snapshot log. Failures are
@@ -480,14 +479,8 @@ impl Service {
     /// full disk degrades durability, never availability; the log
     /// itself rolled back the torn tail.
     fn append_record(&self, payload: &[u8]) {
-        let mut slot = match self.snapshot_log.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        if let Some(log) = slot.as_mut() {
-            if log.append(payload).is_err() {
-                self.metrics.counter("service.persist.errors", 1);
-            }
+        if self.snapshot_log.append(payload).is_err() {
+            self.metrics.counter("service.persist.errors", 1);
         }
     }
 

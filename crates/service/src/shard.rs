@@ -25,7 +25,12 @@
 //! claim). Nothing acquires `pending` while holding `cache`, and no
 //! path touches two shards' locks at once except the warm scan, which
 //! takes them strictly one at a time — so the order is acyclic and
-//! deadlock-free.
+//! deadlock-free. Since PR 9 this is machine-checked, not just
+//! documented: both locks are [`OrderedMutex`]es
+//! (`LockRank::Pending < LockRank::Cache`, all shards sharing the two
+//! ranks), so an inverted acquire *or* any two shards held at once
+//! panics in debug/lockcheck builds — see
+//! [`clockroute_core::lockcheck`] and DESIGN.md §16.
 //!
 //! **Capacity.** The total budget is split evenly (`cap/N`, remainder
 //! to the low shards), but every shard keeps room for at least one
@@ -41,25 +46,22 @@
 
 use crate::cache::{ResultCache, Solved, WarmPrior};
 use clockroute_cli::scenario::Scenario;
+use clockroute_core::lockcheck::{LockRank, OrderedCondvar, OrderedMutex};
 use std::collections::BTreeSet;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-
-/// Locks a mutex, riding through poisoning: a panicking solver must
-/// not wedge every later request for the same shard.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Shard {
-    cache: Mutex<ResultCache>,
+    /// Poison is ridden through inside `OrderedMutex`: a panicking
+    /// solver must not wedge every later request for the same shard.
+    cache: OrderedMutex<ResultCache>,
     /// Keys with a solve in flight. Guarded separately from `cache` so
     /// followers waiting on the condvar never hold up hits on other
     /// keys in the same shard.
-    pending: Mutex<BTreeSet<u64>>,
+    pending: OrderedMutex<BTreeSet<u64>>,
     /// Signalled by a leader's [`SolveSlot`] drop.
-    done: Condvar,
+    done: OrderedCondvar,
 }
 
 /// What a request learns about its key (see module docs).
@@ -87,7 +89,7 @@ impl SolveSlot<'_> {
     /// Stores the leader's solve, returning
     /// `(evictions caused, shard len after)`.
     pub fn insert(&self, base: u64, scenario: Scenario, solved: Solved) -> (u64, usize) {
-        let mut cache = lock(&self.shard.cache);
+        let mut cache = self.shard.cache.lock();
         let before = cache.evictions();
         cache.insert(self.key, base, scenario, solved);
         (cache.evictions() - before, cache.len())
@@ -96,7 +98,7 @@ impl SolveSlot<'_> {
 
 impl Drop for SolveSlot<'_> {
     fn drop(&mut self) {
-        lock(&self.shard.pending).remove(&self.key);
+        self.shard.pending.lock().remove(&self.key);
         self.shard.done.notify_all();
     }
 }
@@ -119,9 +121,13 @@ impl ShardedCache {
                 let share = cap / n + usize::from(i < cap % n);
                 let share = if cap == 0 { 0 } else { share.max(1) };
                 Shard {
-                    cache: Mutex::new(ResultCache::with_clock(share, clock.clone())),
-                    pending: Mutex::new(BTreeSet::new()),
-                    done: Condvar::new(),
+                    cache: OrderedMutex::new(
+                        LockRank::Cache,
+                        "shard.cache",
+                        ResultCache::with_clock(share, clock.clone()),
+                    ),
+                    pending: OrderedMutex::new(LockRank::Pending, "shard.pending", BTreeSet::new()),
+                    done: OrderedCondvar::new(),
                 }
             })
             .collect();
@@ -152,16 +158,19 @@ impl ShardedCache {
             }
         };
         loop {
-            if let Some(s) = lock(&shard.cache).lookup(key, scenario) {
+            if let Some(s) = shard.cache.lock().lookup(key, scenario) {
                 return answer(s, waited);
             }
-            let mut pending = lock(&shard.pending);
+            let mut pending = shard.pending.lock();
             if !pending.contains(&key) {
                 // Re-check under `pending`: a leader inserts into the
                 // cache before clearing its claim, so an entry missed
                 // above may exist by now; without this a thread racing
                 // the leader's completion would redundantly re-solve.
-                if let Some(s) = lock(&shard.cache).lookup(key, scenario) {
+                // (Pending → Cache is the one nested acquire; the rank
+                // order exists so exactly this is legal and the
+                // reverse is not.)
+                if let Some(s) = shard.cache.lock().lookup(key, scenario) {
                     return answer(s, waited);
                 }
                 pending.insert(key);
@@ -169,10 +178,7 @@ impl ShardedCache {
             }
             waited = true;
             while pending.contains(&key) {
-                pending = match shard.done.wait(pending) {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
+                pending = shard.done.wait(pending);
             }
             drop(pending);
             // Loop: usually the leader's entry is now a (coalesced)
@@ -190,26 +196,26 @@ impl ShardedCache {
     pub fn find_warm(&self, base: u64, scenario: &Scenario, max_dirty: usize) -> Option<WarmPrior> {
         let mut best: Option<(usize, u64, u64)> = None;
         for (i, shard) in self.shards.iter().enumerate() {
-            if let Some((key, tick)) = lock(&shard.cache).best_warm_candidate(base, scenario) {
+            if let Some((key, tick)) = shard.cache.lock().best_warm_candidate(base, scenario) {
                 if best.is_none_or(|(_, _, best_tick)| tick > best_tick) {
                     best = Some((i, key, tick));
                 }
             }
         }
         let (i, key, _) = best?;
-        lock(&self.shards[i].cache).warm_prior_for(key, scenario, max_dirty)
+        self.shards[i].cache.lock().warm_prior_for(key, scenario, max_dirty)
     }
 
     /// Direct insert, used by snapshot recovery (single-threaded, no
     /// coalescing needed). Routes to the owning shard, so replay lands
     /// entries exactly where live traffic would have put them.
     pub fn insert(&self, key: u64, base: u64, scenario: Scenario, solved: Solved) {
-        lock(&self.shard(key).cache).insert(key, base, scenario, solved);
+        self.shard(key).cache.lock().insert(key, base, scenario, solved);
     }
 
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(&s.cache).len()).sum()
+        self.shards.iter().map(|s| s.cache.lock().len()).sum()
     }
 
     /// `true` if nothing is cached anywhere.
@@ -219,12 +225,12 @@ impl ShardedCache {
 
     /// Total evictions across shards.
     pub fn evictions(&self) -> u64 {
-        self.shards.iter().map(|s| lock(&s.cache).evictions()).sum()
+        self.shards.iter().map(|s| s.cache.lock().evictions()).sum()
     }
 
     /// Per-shard entry counts, in shard order (for tests and stats).
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| lock(&s.cache).len()).collect()
+        self.shards.iter().map(|s| s.cache.lock().len()).collect()
     }
 
     /// Every entry across all shards in global LRU order (least
@@ -234,7 +240,7 @@ impl ShardedCache {
     pub fn export(&self) -> Vec<(u64, u64, Scenario, Solved)> {
         let mut rows: Vec<(u64, u64, u64, Scenario, Solved)> = Vec::new();
         for shard in &self.shards {
-            let cache = lock(&shard.cache);
+            let cache = shard.cache.lock();
             rows.extend(
                 cache
                     .export_ticked()

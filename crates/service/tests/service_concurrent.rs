@@ -7,6 +7,7 @@
 //! duplicate-key snapshot records).
 
 use clockroute_core::canon::mix64;
+use clockroute_core::lockcheck::{self, LockRank, OrderedMutex};
 use clockroute_service::{persist, Service, ServiceConfig};
 use std::sync::Barrier;
 
@@ -191,6 +192,116 @@ fn inflight_accounting_covers_the_durability_window() {
     // through the 1-slot gate must not be rejected.
     let again = service.handle_line(&route_line("d2", &scenario_text(9, 9)));
     assert!(!again.contains("\"status\":\"busy\""), "{again}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Panic payload of a joined thread as text ("" when not a string).
+fn panic_text(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+/// Lockcheck regression (rank inversion): acquiring a `Pending`-ranked
+/// lock while holding a `Cache`-ranked one is the cache-before-pending
+/// inversion that single-flight forbids — the rank checker must kill
+/// the thread deterministically (first offending acquire, not "maybe a
+/// deadlock under the right interleaving"), naming both locks.
+#[test]
+fn lock_order_inversion_is_detected_deterministically() {
+    if !lockcheck::ENABLED {
+        return; // release builds compile the checks out
+    }
+    let err = std::thread::spawn(|| {
+        let cache = OrderedMutex::new(LockRank::Cache, "test.inversion.cache", 0u32);
+        let pending = OrderedMutex::new(LockRank::Pending, "test.inversion.pending", 0u32);
+        let _c = cache.lock();
+        let _p = pending.lock();
+    })
+    .join()
+    .expect_err("the inversion must panic the acquiring thread");
+    let msg = panic_text(err);
+    assert!(msg.contains("rank inversion"), "{msg}");
+    assert!(
+        msg.contains("test.inversion.pending(Pending)")
+            && msg.contains("test.inversion.cache(Cache)"),
+        "the report must name both locks and ranks: {msg}"
+    );
+}
+
+/// Lockcheck regression (two shards at once): every shard cache shares
+/// `LockRank::Cache`, so holding two shard locks — the classic
+/// resize/rebalance deadlock shape — is a same-rank double acquire and
+/// must be rejected even though no inversion has happened yet.
+#[test]
+fn two_shard_double_acquire_is_detected() {
+    if !lockcheck::ENABLED {
+        return;
+    }
+    let err = std::thread::spawn(|| {
+        let shard0 = OrderedMutex::new(LockRank::Cache, "test.double.shard0", 0u32);
+        let shard1 = OrderedMutex::new(LockRank::Cache, "test.double.shard1", 0u32);
+        let _a = shard0.lock();
+        let _b = shard1.lock();
+    })
+    .join()
+    .expect_err("the double acquire must panic the acquiring thread");
+    let msg = panic_text(err);
+    assert!(msg.contains("same-rank double acquire"), "{msg}");
+    assert!(
+        msg.contains("test.double.shard1(Cache)") && msg.contains("test.double.shard0(Cache)"),
+        "{msg}"
+    );
+}
+
+/// Lockcheck regression (shipped paths are clean): drive every shard
+/// path — miss, hit, coalesced burst, stats, snapshot persist — on a
+/// debug build, where any rank violation panics the offending thread
+/// and fails the test. Then pin the one legal nesting in the recorded
+/// acquisition graph: the single-flight re-check takes `shard.cache`
+/// *inside* `shard.pending`, never the reverse.
+#[test]
+fn shipped_single_flight_paths_are_lockcheck_clean() {
+    if !lockcheck::ENABLED {
+        return;
+    }
+    const THREADS: usize = 8;
+    let dir = temp_dir("lockcheck-clean");
+    let service = Service::new(ServiceConfig {
+        shards: 4,
+        max_inflight: THREADS,
+        state: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let text = scenario_text(6, 6);
+    let barrier = Barrier::new(THREADS);
+    let (service, barrier, text) = (&service, &barrier, &text);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Duplicate burst: one leader, everyone else hits or
+                    // coalesces on the pending slot.
+                    service.handle_line(&route_line("x", text));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("a lockcheck violation would panic here");
+        }
+    });
+    service.handle_line("{\"id\":\"s\",\"op\":\"stats\"}");
+    let report = lockcheck::report();
+    assert!(
+        report.contains("shard.pending(Pending) -> shard.cache(Cache)"),
+        "the single-flight re-check nests cache inside pending: {report}"
+    );
+    assert!(
+        !report.contains("shard.cache(Cache) -> shard.pending(Pending)"),
+        "the reverse nesting must never be recorded: {report}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -11,6 +11,15 @@ cargo build --release
 cargo run --release -p clockroute-lint -- --workspace
 cargo test --workspace -q
 cargo test --workspace --release -q
+# Lock-discipline gate: the service concurrency and chaos suites in the
+# debug profile, where every OrderedMutex asserts rank monotonicity at
+# runtime (lockcheck::ENABLED; see DESIGN.md §16). The workspace run
+# above already covers these, but name them so a rank violation fails
+# here with an obvious label rather than deep in a generic test wall.
+cargo test -p clockroute-service -q --test service_concurrent --test service_chaos
+# ThreadSanitizer pass when a nightly toolchain is available; a no-op
+# with a notice otherwise (offline containers ship stable only).
+sh scripts/tsan.sh
 # Differential fuzz suite against the exhaustive oracles (fixed seeds,
 # so a failure here reproduces exactly; see tests/differential.rs).
 cargo test --release -q --test differential

@@ -3,6 +3,7 @@
 //! ```text
 //! usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] [--strict] [--jobs <n>]
 //!               [--metrics <file>] [--trace <file>]
+//!               [--flow [--flow-iters <n>] [--flow-seed <n>]]
 //! ```
 //!
 //! Reads a scenario file (see [`clockroute_cli::scenario`] for the
@@ -21,6 +22,15 @@
 //! report — is bit-identical for every job count; parallelism only
 //! changes wall-clock time.
 //!
+//! `--flow` routes the whole batch with the congestion-aware
+//! multicommodity-flow mode (`clockroute-flow`) against the scenario's
+//! `capacity` directives. `--flow-iters <n>` sets the fractional price
+//! rounds and `--flow-seed <n>` the rounding seed; both require
+//! `--flow` (exit 2 otherwise). Under `--flow` the plan is a pure
+//! function of scenario + seed + iters: `--jobs` is accepted but is a
+//! documented no-op for ordering (flow planning is sequential), and a
+//! non-quiet run appends a congestion/overflow section to the report.
+//!
 //! `--metrics <file>` writes the aggregated telemetry counters/gauges as
 //! a JSON object; the file is byte-identical for every `--jobs` value.
 //! `--trace <file>` writes the full telemetry stream (spans and
@@ -36,6 +46,7 @@ use clockroute_cli::{report, scenario};
 use clockroute_core::telemetry::Tee;
 use clockroute_core::{failpoint, MetricsRecorder, SearchBudget, Telemetry, TraceWriter};
 use clockroute_elmore::GateLibrary;
+use clockroute_flow::{FlowConfig, PlannerFlowExt};
 use clockroute_grid::{render_grid, GridGraph, RenderOptions};
 use clockroute_plan::{Planner, SharedTelemetry};
 use std::io::{BufWriter, Write};
@@ -44,7 +55,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: crplan <scenario.cr> [--render] [--quiet] [--budget-ms <n>] \
-                     [--strict] [--jobs <n>] [--metrics <file>] [--trace <file>]";
+                     [--strict] [--jobs <n>] [--metrics <file>] [--trace <file>] \
+                     [--flow [--flow-iters <n>] [--flow-seed <n>]]";
 
 struct Options {
     path: String,
@@ -55,6 +67,9 @@ struct Options {
     jobs: usize,
     metrics: Option<String>,
     trace: Option<String>,
+    flow: bool,
+    flow_iters: Option<u32>,
+    flow_seed: Option<u64>,
 }
 
 fn default_jobs() -> usize {
@@ -72,6 +87,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut jobs = default_jobs();
     let mut metrics = None;
     let mut trace = None;
+    let mut flow = false;
+    let mut flow_iters = None;
+    let mut flow_seed = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,6 +120,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
             }
+            "--flow" => flow = true,
+            "--flow-iters" => {
+                let n: u32 = it
+                    .next()
+                    .ok_or("--flow-iters needs a value")?
+                    .parse()
+                    .map_err(|_| "--flow-iters needs a positive integer")?;
+                if n == 0 {
+                    return Err("--flow-iters needs a positive integer".to_owned());
+                }
+                flow_iters = Some(n);
+            }
+            "--flow-seed" => {
+                flow_seed = Some(
+                    it.next()
+                        .ok_or("--flow-seed needs a value")?
+                        .parse()
+                        .map_err(|_| "--flow-seed needs an unsigned integer")?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -112,6 +150,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
         }
     }
+    if !flow && flow_iters.is_some() {
+        return Err("--flow-iters requires --flow".to_owned());
+    }
+    if !flow && flow_seed.is_some() {
+        return Err("--flow-seed requires --flow".to_owned());
+    }
     Ok(Options {
         path: path.ok_or("missing scenario file")?,
         render,
@@ -121,6 +165,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs,
         metrics,
         trace,
+        flow,
+        flow_iters,
+        flow_seed,
     })
 }
 
@@ -205,12 +252,29 @@ fn main() -> ExitCode {
         None => recorder.clone(),
     };
 
+    // Under --flow, --jobs is a documented no-op: flow planning is
+    // sequential so the plan is a pure function of scenario + seed +
+    // iters for every job count.
     let planner = Planner::new(graph.clone(), scenario.tech, lib.clone())
         .reserve_routes(scenario.reserve)
         .budget(opts.budget)
-        .jobs(opts.jobs)
+        .jobs(if opts.flow { 1 } else { opts.jobs })
         .telemetry(SharedTelemetry::new(sink));
-    let plan = planner.plan(&scenario.nets);
+    let (plan, flow_summary) = if opts.flow {
+        let mut cfg = FlowConfig::default();
+        if let Some(n) = opts.flow_iters {
+            cfg.iters = n;
+        }
+        if let Some(s) = opts.flow_seed {
+            cfg.seed = s;
+        }
+        let (plan, summary) = planner
+            .flow(&scenario.nets, &scenario.capacities, cfg)
+            .into_parts();
+        (plan, Some(summary))
+    } else {
+        (planner.plan(&scenario.nets), None)
+    };
 
     // The per-net lines come from the shared renderer so they are
     // byte-identical to what `crserve` returns for the same scenario.
@@ -247,6 +311,9 @@ fn main() -> ExitCode {
     let degraded = plan.degraded().count();
     if !opts.quiet {
         println!("{}", report::summary_line(&plan));
+        if let Some(summary) = &flow_summary {
+            print!("{}", summary.render());
+        }
     }
     if !opts.quiet {
         println!("# telemetry");

@@ -19,11 +19,17 @@
 //! net gals name=xdom  src=30,19 dst=160,179 ts=300 tt=400
 //!
 //! reserve off              # optional: disable resource reservation
+//!
+//! # optional channel capacities for `crplan --flow` (default: unbounded)
+//! capacity default 2                # every edge carries at most 2 nets
+//! capacity edge 4,7 5,7 1           # one adjacent edge
+//! capacity rect 10 0 12 19 1        # every edge inside the rect
 //! ```
 
 use clockroute_elmore::Technology;
 use clockroute_geom::units::{CapPerLength, Length, ResPerLength, Time};
 use clockroute_geom::{BlockKind, Floorplan, Point, Rect};
+use clockroute_grid::EdgeCapacities;
 use clockroute_plan::NetSpec;
 use std::error::Error;
 use std::fmt;
@@ -41,6 +47,9 @@ pub struct Scenario {
     pub nets: Vec<NetSpec>,
     /// Whether routed nets reserve their resources.
     pub reserve: bool,
+    /// Channel capacities for `--flow` mode. Empty (every edge
+    /// unbounded) unless the scenario declares `capacity` directives.
+    pub capacities: EdgeCapacities,
 }
 
 /// A parse failure with its 1-based line number.
@@ -101,6 +110,19 @@ fn kv<'a>(tokens: &'a [&str], key: &str, line: usize) -> Result<&'a str, ParseSc
         .ok_or_else(|| err(line, format!("missing `{key}=...`")))
 }
 
+fn parse_cap(tok: &str, line: usize) -> Result<u32, ParseScenarioError> {
+    tok.parse::<u32>()
+        .map_err(|_| err(line, format!("bad capacity `{tok}` (expected a non-negative integer)")))
+}
+
+/// One `capacity` directive, held until the grid bounds are known.
+#[derive(Debug, Clone, Copy)]
+enum CapDirective {
+    Default(u32),
+    Edge(Point, Point, u32),
+    Rect(u32, u32, u32, u32, u32),
+}
+
 /// Parses a scenario from text.
 ///
 /// # Errors
@@ -115,6 +137,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut blocks: Vec<(Rect, BlockKind, usize)> = Vec::new();
     let mut nets: Vec<(NetSpec, usize)> = Vec::new();
     let mut reserve = true;
+    let mut cap_directives: Vec<(CapDirective, usize)> = Vec::new();
 
     for (i, raw) in text.split('\n').enumerate() {
         let line_no = i + 1;
@@ -240,6 +263,55 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
                     _ => return Err(err(line_no, "usage: reserve on|off")),
                 };
             }
+            "capacity" => {
+                let directive = match tokens.get(1).copied() {
+                    Some("default") => {
+                        if tokens.len() != 3 {
+                            return Err(err(line_no, "usage: capacity default <n>"));
+                        }
+                        CapDirective::Default(parse_cap(tokens[2], line_no)?)
+                    }
+                    Some("edge") => {
+                        if tokens.len() != 5 {
+                            return Err(err(line_no, "usage: capacity edge <x1,y1> <x2,y2> <n>"));
+                        }
+                        let a = parse_point(tokens[2], line_no)?;
+                        let b = parse_point(tokens[3], line_no)?;
+                        if !a.is_adjacent(b) {
+                            return Err(err(
+                                line_no,
+                                format!("capacity edge {a} {b}: endpoints are not adjacent"),
+                            ));
+                        }
+                        CapDirective::Edge(a, b, parse_cap(tokens[4], line_no)?)
+                    }
+                    Some("rect") => {
+                        if tokens.len() != 7 {
+                            return Err(err(
+                                line_no,
+                                "usage: capacity rect <x0> <y0> <x1> <y1> <n>",
+                            ));
+                        }
+                        let coords: Result<Vec<u32>, _> =
+                            tokens[2..6].iter().map(|t| t.parse::<u32>()).collect();
+                        let c = coords.map_err(|_| {
+                            err(line_no, "capacity rect coordinates must be integers")
+                        })?;
+                        if c[0] > c[2] || c[1] > c[3] {
+                            return Err(err(line_no, "capacity rect is inverted (x0>x1 or y0>y1)"));
+                        }
+                        CapDirective::Rect(c[0], c[1], c[2], c[3], parse_cap(tokens[6], line_no)?)
+                    }
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            "usage: capacity default <n> | capacity edge <x1,y1> <x2,y2> <n> | \
+                             capacity rect <x0> <y0> <x1> <y1> <n>",
+                        ))
+                    }
+                };
+                cap_directives.push((directive, line_no));
+            }
             other => return Err(err(line_no, format!("unknown directive `{other}`"))),
         }
     }
@@ -266,12 +338,48 @@ pub fn parse(text: &str) -> Result<Scenario, ParseScenarioError> {
             }
         }
     }
+    // Capacities are validated against the (now known) grid bounds at
+    // their declaration lines; within one kind, later directives win.
+    let mut capacities = EdgeCapacities::new();
+    for (directive, line) in &cap_directives {
+        match *directive {
+            CapDirective::Default(c) => capacities.set_default(c),
+            CapDirective::Edge(a, b, c) => {
+                for p in [a, b] {
+                    if p.x >= gw || p.y >= gh {
+                        return Err(err(*line, format!("capacity edge point {p} is off-grid")));
+                    }
+                }
+                capacities.set_edge(a, b, c);
+            }
+            CapDirective::Rect(x0, y0, x1, y1, c) => {
+                if x1 >= gw || y1 >= gh {
+                    return Err(err(
+                        *line,
+                        format!("capacity rect exceeds the {gw}×{gh} grid"),
+                    ));
+                }
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        let p = Point::new(x, y);
+                        if x + 1 <= x1 {
+                            capacities.set_edge(p, Point::new(x + 1, y), c);
+                        }
+                        if y + 1 <= y1 {
+                            capacities.set_edge(p, Point::new(x, y + 1), c);
+                        }
+                    }
+                }
+            }
+        }
+    }
     Ok(Scenario {
         floorplan,
         grid: (gw, gh),
         tech,
         nets: nets.into_iter().map(|(n, _)| n).collect(),
         reserve,
+        capacities,
     })
 }
 
@@ -441,5 +549,61 @@ net gals name=c src=50,5 dst=50,95 ts=300 tt=400
     fn comments_and_blanks_ignored() {
         let text = "\n# hi\ndie 1mm 1mm # trailing\n\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n";
         assert!(parse(text).is_ok());
+    }
+
+    const CAP_BASE: &str = "die 1mm 1mm\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n";
+
+    #[test]
+    fn scenarios_without_capacities_are_unconstrained() {
+        let s = parse(CAP_BASE).unwrap();
+        assert!(s.capacities.is_unconstrained());
+    }
+
+    #[test]
+    fn parses_capacity_directives() {
+        let text = format!(
+            "{CAP_BASE}capacity default 2\ncapacity edge 0,0 1,0 5\ncapacity rect 1 1 2 2 1\n"
+        );
+        let s = parse(&text).unwrap();
+        assert!(!s.capacities.is_unconstrained());
+        assert_eq!(s.capacities.default_cap(), Some(2));
+        assert_eq!(s.capacities.cap(Point::new(0, 0), Point::new(1, 0)), Some(5));
+        // Rect covers the 4 interior edges of the 2×2 square.
+        assert_eq!(s.capacities.cap(Point::new(1, 1), Point::new(2, 1)), Some(1));
+        assert_eq!(s.capacities.cap(Point::new(2, 1), Point::new(2, 2)), Some(1));
+        // Edges outside any directive fall back to the default.
+        assert_eq!(s.capacities.cap(Point::new(2, 3), Point::new(3, 3)), Some(2));
+        assert_eq!(s.capacities.override_count(), 5);
+    }
+
+    #[test]
+    fn capacity_errors_carry_line_numbers() {
+        for (suffix, needle) in [
+            ("capacity default many\n", "bad capacity"),
+            ("capacity default\n", "usage: capacity default"),
+            ("capacity edge 0,0 2,0 1\n", "not adjacent"),
+            ("capacity edge 0,0 9,0\n", "usage: capacity edge"),
+            ("capacity rect 2 2 1 1 1\n", "inverted"),
+            ("capacity rect 0 0 9 9 1\n", "exceeds"),
+            ("capacity bogus 1\n", "usage: capacity"),
+        ] {
+            let e = parse(&format!("{CAP_BASE}{suffix}")).unwrap_err();
+            assert_eq!(e.line, 4, "{suffix}: {e}");
+            assert!(e.message.contains(needle), "{suffix}: {e}");
+        }
+        // Off-grid edge endpoints are caught at post-validation with the
+        // declaring line, even when the grid is declared later.
+        let e = parse("die 1mm 1mm\ncapacity edge 5,0 6,0 1\ngrid 4 4\nnet comb name=x src=0,0 dst=3,3\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("off-grid"), "{e}");
+    }
+
+    #[test]
+    fn later_capacity_directives_win() {
+        let text = format!("{CAP_BASE}capacity default 3\ncapacity default 1\ncapacity edge 0,0 1,0 9\ncapacity edge 1,0 0,0 4\n");
+        let s = parse(&text).unwrap();
+        assert_eq!(s.capacities.default_cap(), Some(1));
+        assert_eq!(s.capacities.cap(Point::new(0, 0), Point::new(1, 0)), Some(4));
     }
 }

@@ -401,6 +401,124 @@ net comb name=d0 src=0,0 dst=19,19
         assert_eq!(out.status.code(), Some(2), "missing value");
     }
 
+    /// A capacitated contention scenario for the flow-mode tests: three
+    /// identical-terminal nets on a unit-capacity channel.
+    const FLOW_CONGESTED: &str = "\
+die 7mm 5mm
+grid 7 5
+reserve off
+capacity default 1
+net comb name=s0 src=0,2 dst=6,2
+net comb name=s1 src=0,2 dst=6,2
+net comb name=s2 src=0,2 dst=6,2
+";
+
+    #[test]
+    fn flow_only_flags_without_flow_exit_two() {
+        let path = scenario_file("flowflags", SMALL);
+        for flag in ["--flow-iters", "--flow-seed"] {
+            let out = crplan()
+                .arg(&path)
+                .arg(flag)
+                .arg("3")
+                .output()
+                .expect("run crplan");
+            assert_eq!(out.status.code(), Some(2), "{flag} without --flow");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains(&format!("{flag} requires --flow")), "{stderr}");
+        }
+    }
+
+    #[test]
+    fn bad_flow_values_exit_two() {
+        let path = scenario_file("badflow", SMALL);
+        for args in [
+            &["--flow", "--flow-iters", "0"][..],
+            &["--flow", "--flow-iters", "many"][..],
+            &["--flow", "--flow-seed", "-1"][..],
+            &["--flow", "--flow-iters"][..],
+        ] {
+            let out = crplan().arg(&path).args(args).output().expect("run crplan");
+            assert_eq!(out.status.code(), Some(2), "{args:?}");
+        }
+    }
+
+    /// Satellite guarantee: on an uncongested scenario (no `capacity`
+    /// directives) flow mode delegates wholesale, so `--flow --quiet` is
+    /// byte-identical to the sequential `--quiet` report.
+    #[test]
+    fn flow_quiet_equals_sequential_quiet_when_uncongested() {
+        let path = scenario_file("flowquiet", SMALL);
+        let seq = crplan().arg(&path).arg("--quiet").output().expect("run");
+        let flow = crplan()
+            .arg(&path)
+            .args(["--quiet", "--flow"])
+            .output()
+            .expect("run");
+        assert!(seq.status.success() && flow.status.success());
+        assert_eq!(seq.stdout, flow.stdout, "--flow changed an uncongested plan");
+    }
+
+    /// Flow plans are a pure function of scenario + seed + iters: the
+    /// full report is byte-identical across repeat runs and across
+    /// `--jobs` values (a documented no-op under `--flow`).
+    #[test]
+    fn flow_report_is_byte_identical_across_runs_and_jobs() {
+        let path = scenario_file("flowdet", FLOW_CONGESTED);
+        let run = |extra: &[&str]| {
+            let out = crplan()
+                .arg(&path)
+                .args(["--flow", "--flow-seed", "7"])
+                .args(extra)
+                .output()
+                .expect("run crplan");
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            out.stdout
+        };
+        let first = run(&[]);
+        assert_eq!(first, run(&[]), "flow run not reproducible");
+        assert_eq!(first, run(&["--jobs", "1"]), "--jobs 1 changed the plan");
+        assert_eq!(first, run(&["--jobs", "4"]), "--jobs 4 changed the plan");
+    }
+
+    /// The congestion section is part of the non-quiet chrome only:
+    /// `--quiet` stays exactly the shared `plan_report` surface that
+    /// `crserve` byte-matches against.
+    #[test]
+    fn flow_congestion_section_respects_quiet() {
+        let path = scenario_file("flowsection", FLOW_CONGESTED);
+        let out = crplan().arg(&path).arg("--flow").output().expect("run");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{stdout}");
+        assert!(stdout.contains("congestion:"), "{stdout}");
+        let out = crplan()
+            .arg(&path)
+            .args(["--flow", "--quiet"])
+            .output()
+            .expect("run");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(!stdout.contains("congestion:"), "{stdout}");
+    }
+
+    /// The three shipped congested scenarios must all reach zero
+    /// overflow under `--flow` — the flowbench quality gate relies on
+    /// them staying solvable.
+    #[test]
+    fn shipped_congested_scenarios_reach_zero_overflow() {
+        for name in ["flow_spread.cr", "flow_bridges.cr", "flow_mesh.cr"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../scenarios")
+                .join(name);
+            let out = crplan().arg(&path).arg("--flow").output().expect("run");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(out.status.success(), "{name}: {stdout}");
+            assert!(
+                stdout.contains("overflow total 0 max 0"),
+                "{name} left overflow: {stdout}"
+            );
+        }
+    }
+
     #[test]
     fn hostile_scenario_with_budget_terminates_promptly() {
         // Dense blockage maze on a large grid with unmeetable periods:

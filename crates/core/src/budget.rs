@@ -48,6 +48,8 @@ pub enum SearchStage {
     Gals,
     /// Transparent-latch search ([`LatchSpec`](crate::LatchSpec)).
     Latch,
+    /// Congestion-priced flow-mode routing (`clockroute-flow`).
+    Flow,
 }
 
 impl fmt::Display for SearchStage {
@@ -57,6 +59,7 @@ impl fmt::Display for SearchStage {
             SearchStage::Rbp => "RBP",
             SearchStage::Gals => "GALS",
             SearchStage::Latch => "latch",
+            SearchStage::Flow => "flow",
         })
     }
 }
@@ -122,10 +125,11 @@ impl SearchBudget {
 
 /// Per-search accounting against a [`SearchBudget`].
 ///
-/// Created once per `solve` call; `charge_pop` is invoked at the top of
-/// the main pop loop with the current arena size.
+/// Created once per `solve` call (or once per flow-mode phase); the
+/// search invokes `charge_pop` at the top of the main pop loop with the
+/// current arena size.
 #[derive(Debug)]
-pub(crate) struct BudgetMeter {
+pub struct BudgetMeter {
     budget: SearchBudget,
     stage: SearchStage,
     start: Instant,
@@ -134,6 +138,8 @@ pub(crate) struct BudgetMeter {
 }
 
 impl BudgetMeter {
+    /// Starts metering a search against `budget`, stamping errors with
+    /// `stage`. The wall clock starts now.
     pub fn new(budget: SearchBudget, stage: SearchStage) -> BudgetMeter {
         BudgetMeter {
             budget,
@@ -290,5 +296,6 @@ mod tests {
         assert_eq!(SearchStage::Rbp.to_string(), "RBP");
         assert_eq!(SearchStage::Gals.to_string(), "GALS");
         assert_eq!(SearchStage::Latch.to_string(), "latch");
+        assert_eq!(SearchStage::Flow.to_string(), "flow");
     }
 }

@@ -66,7 +66,7 @@ mod result;
 mod stats;
 pub mod telemetry;
 
-pub use budget::{SearchBudget, SearchStage};
+pub use budget::{BudgetMeter, SearchBudget, SearchStage};
 pub use engine::EngineKind;
 pub use error::RouteError;
 pub use fastpath::FastPathSpec;

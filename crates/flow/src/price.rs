@@ -1,0 +1,195 @@
+//! The priced geometry oracle: a budget-charged Dijkstra whose edge
+//! weight is physical length times a caller-supplied congestion
+//! multiplier.
+//!
+//! This is the min-cost oracle of the fractional multicommodity phase
+//! (Albrecht et al., PAPERS.md): the fractional iteration and the
+//! rip-up pass both pick *geometry* with it, then hand the chosen
+//! corridor to the exact per-net searches for timing legalization —
+//! prices steer where a net goes, the Elmore searches decide what gets
+//! inserted along the way.
+//!
+//! Every pop and every relaxation charges the shared flow-phase
+//! [`BudgetMeter`], so a blown deadline surfaces as
+//! [`RouteError::BudgetExceeded`] from inside the loop (crlint CR005)
+//! and the caller degrades instead of hanging.
+
+use clockroute_core::{BudgetMeter, RouteError};
+use clockroute_geom::Point;
+use clockroute_grid::{GridGraph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on priced distance; ties broken by node id for
+        // determinism. `total_cmp` keeps the heap invariant even for
+        // non-finite keys (the canonical CR001 pattern).
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Cheapest source→sink geometry under `multiplier` (a per-edge factor
+/// ≥ 1 applied to physical length). Returns:
+///
+/// * `Ok(Some(points))` — the priced shortest path;
+/// * `Ok(None)` — no route exists (terminals off-grid or disconnected);
+///   the caller falls back to the full per-net planner, whose ladder
+///   produces the canonical failure result;
+/// * `Err(BudgetExceeded)` — the shared flow budget tripped mid-search.
+///
+/// Deterministic: ties are broken by node id, and the multiplier is a
+/// pure function of the edge, so equal inputs give equal paths.
+pub(crate) fn priced_path(
+    graph: &GridGraph,
+    source: Point,
+    sink: Point,
+    multiplier: &dyn Fn(Point, Point) -> f64,
+    meter: &mut BudgetMeter,
+) -> Result<Option<Vec<Point>>, RouteError> {
+    if !graph.contains(source) || !graph.contains(sink) {
+        return Ok(None);
+    }
+    let s = graph.node(source);
+    let t = graph.node(sink);
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[s.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: s });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        meter.charge_pop(0)?;
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == t {
+            break;
+        }
+        for v in graph.neighbors(u) {
+            meter.charge_expand()?;
+            let pu = graph.point(u);
+            let pv = graph.point(v);
+            let nd = d + graph.edge_length(u, v).um() * multiplier(pu, pv);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    if dist[t.index()].is_infinite() {
+        return Ok(None);
+    }
+    let mut points = vec![graph.point(t)];
+    let mut cur = t;
+    while let Some(p) = prev[cur.index()] {
+        points.push(graph.point(p));
+        cur = p;
+    }
+    points.reverse();
+    Ok(Some(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockroute_core::{SearchBudget, SearchStage};
+    use clockroute_geom::units::Length;
+    use std::time::Duration;
+
+    fn p(x: u32, y: u32) -> Point {
+        Point::new(x, y)
+    }
+
+    fn meter() -> BudgetMeter {
+        BudgetMeter::new(SearchBudget::unlimited(), SearchStage::Flow)
+    }
+
+    #[test]
+    fn unit_multiplier_matches_shortest_path() {
+        let g = GridGraph::open(10, 10, Length::from_um(100.0));
+        let path = priced_path(&g, p(0, 5), p(9, 5), &|_, _| 1.0, &mut meter())
+            .unwrap()
+            .unwrap();
+        assert_eq!(path.len(), 10);
+        assert_eq!(path[0], p(0, 5));
+        assert_eq!(path[9], p(9, 5));
+    }
+
+    #[test]
+    fn expensive_row_forces_a_detour() {
+        // Make every horizontal edge on row 0 ruinously expensive; the
+        // path must dip to row 1 and come back.
+        let g = GridGraph::open(6, 3, Length::from_um(100.0));
+        let mult = |a: Point, b: Point| {
+            if a.y == 0 && b.y == 0 {
+                1000.0
+            } else {
+                1.0
+            }
+        };
+        let path = priced_path(&g, p(0, 0), p(5, 0), &mult, &mut meter())
+            .unwrap()
+            .unwrap();
+        assert!(path.iter().any(|q| q.y == 1), "path stayed on priced row");
+    }
+
+    #[test]
+    fn disconnected_and_off_grid_return_none() {
+        let g = GridGraph::open(4, 4, Length::from_um(100.0));
+        assert_eq!(
+            priced_path(&g, p(0, 0), p(9, 9), &|_, _| 1.0, &mut meter()).unwrap(),
+            None
+        );
+        let mut g2 = GridGraph::open(4, 1, Length::from_um(100.0));
+        g2.blockage_mut().block_edge(p(1, 0), p(2, 0));
+        assert_eq!(
+            priced_path(&g2, p(0, 0), p(3, 0), &|_, _| 1.0, &mut meter()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_the_budget() {
+        let g = GridGraph::open(8, 8, Length::from_um(100.0));
+        let budget = SearchBudget::unlimited().with_deadline(Duration::ZERO);
+        let mut m = BudgetMeter::new(budget, SearchStage::Flow);
+        let err = priced_path(&g, p(0, 0), p(7, 7), &|_, _| 1.0, &mut m).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::BudgetExceeded {
+                stage: SearchStage::Flow,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = GridGraph::open(12, 12, Length::from_um(100.0));
+        let mult = |a: Point, b: Point| 1.0 + 0.1 * f64::from(a.x.min(b.x));
+        let a = priced_path(&g, p(0, 0), p(11, 11), &mult, &mut meter()).unwrap();
+        let b = priced_path(&g, p(0, 0), p(11, 11), &mult, &mut meter()).unwrap();
+        assert_eq!(a, b);
+    }
+}

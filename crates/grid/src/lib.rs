@@ -26,11 +26,13 @@
 //! assert!(g.is_insertable(g.node(Point::new(0, 0))));
 //! ```
 
+pub mod capacity;
 pub mod dijkstra;
 pub mod graph;
 pub mod path;
 pub mod render;
 
+pub use capacity::{edge_key, EdgeCapacities, EdgeKey};
 pub use dijkstra::{bfs_hops, shortest_path, ShortestPathError};
 pub use graph::{GridGraph, NodeId};
 pub use path::{GridPath, ValidatePathError};

@@ -19,12 +19,13 @@ pub const RULE_IDS: [&str; 11] = [
 /// the algorithmic core that the degradation ladder must be able to
 /// trust (PR 1 wrapped it in `catch_unwind` precisely because it could
 /// not).
-const CR002_CRATES: [&str; 5] = [
+const CR002_CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/grid/src/",
     "crates/elmore/src/",
     "crates/geom/src/",
     "crates/plan/src/",
+    "crates/flow/src/",
 ];
 
 /// The only files allowed to read wall clocks: the budget meter (that
@@ -51,22 +52,26 @@ const CR004_THREAD_PATHS: [&str; 3] = [
     "crates/service/src/pool.rs",
 ];
 
-/// The four label-correcting search modules whose queue loops must be
+/// The label-correcting search modules whose queue loops must be
 /// budget-cancellable (the PR 2 promptness bug: expansion/promotion
-/// loops that never sampled the deadline).
-const CR005_FILES: [&str; 4] = [
+/// loops that never sampled the deadline). The flow oracle's priced
+/// Dijkstra joined the list in PR 10.
+const CR005_FILES: [&str; 5] = [
     "crates/core/src/fastpath.rs",
     "crates/core/src/rbp.rs",
     "crates/core/src/gals.rs",
     "crates/core/src/latch.rs",
+    "crates/flow/src/price.rs",
 ];
 
 /// Report/serialization modules whose output is byte-compared across
 /// `--jobs`: unordered collections are banned outright (not just their
 /// iteration — a `HashMap` that is only probed today becomes one that
 /// is iterated tomorrow).
-const CR006_FILES: [&str; 15] = [
+const CR006_FILES: [&str; 17] = [
     "crates/grid/src/render.rs",
+    "crates/flow/src/lib.rs",
+    "crates/flow/src/report.rs",
     "crates/core/src/telemetry.rs",
     "crates/core/src/result.rs",
     "crates/cli/src/lib.rs",

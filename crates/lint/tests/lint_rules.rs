@@ -57,6 +57,9 @@ fn cr002_fires_in_core_crates_only() {
         [("CR002".to_string(), 5), ("CR002".to_string(), 7)],
         "{got:?}"
     );
+    // The flow crate joined the unwrap-free set in PR 10.
+    let flow = run("cr002.rs", "crates/flow/src/lib.rs");
+    assert_eq!(flow.len(), 2, "{flow:?}");
     // Same file outside the algorithmic crates: out of scope.
     assert!(run("cr002.rs", "crates/bench/src/lib.rs").is_empty());
     // Same file in a tests/ directory: test scope.
@@ -118,7 +121,14 @@ fn cr005_fires_on_uncharged_queue_loops() {
         [("CR005".to_string(), 6), ("CR005".to_string(), 52)],
         "{got:?}"
     );
-    // Outside the four search modules the rule is out of scope.
+    // The flow oracle's priced Dijkstra is held to the same bar.
+    let flow = run("cr005.rs", "crates/flow/src/price.rs");
+    assert_eq!(
+        flow,
+        [("CR005".to_string(), 6), ("CR005".to_string(), 52)],
+        "{flow:?}"
+    );
+    // Outside the search modules the rule is out of scope.
     assert!(run("cr005.rs", "crates/core/src/engine.rs").is_empty());
 }
 
@@ -137,6 +147,10 @@ fn cr006_fires_on_unordered_collections_in_report_modules() {
     // The service's response-building modules are held to the same bar.
     let got = run("cr006.rs", "crates/service/src/protocol.rs");
     assert_eq!(got.len(), 3, "{got:?}");
+    // So are the flow crate's plan/report modules (PR 10): their
+    // congestion section is byte-compared across runs and --jobs.
+    assert_eq!(run("cr006.rs", "crates/flow/src/lib.rs").len(), 3);
+    assert_eq!(run("cr006.rs", "crates/flow/src/report.rs").len(), 3);
     // A non-report module may use HashMap (e.g. the reference oracles).
     assert!(run("cr006.rs", "crates/core/src/reference.rs").is_empty());
 }
@@ -264,6 +278,7 @@ fn deleting_a_budget_charge_fails_cr005() {
         "crates/core/src/rbp.rs",
         "crates/core/src/gals.rs",
         "crates/core/src/latch.rs",
+        "crates/flow/src/price.rs",
     ] {
         let src = real_source(rel);
         assert!(

@@ -265,6 +265,14 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// Assembles a plan from per-net results, in planning order — for
+    /// alternative batch planners (e.g. `clockroute-flow`) that build
+    /// their results net-by-net and still want the [`Plan`] reporting
+    /// surface.
+    pub fn from_results(results: Vec<NetResult>) -> Plan {
+        Plan { results }
+    }
+
     /// Per-net results, in planning order.
     pub fn results(&self) -> &[NetResult] {
         &self.results
@@ -394,6 +402,13 @@ impl SharedTelemetry {
     fn sink(&self) -> &dyn Telemetry {
         &*self.0
     }
+
+    /// A borrowed [`TelemetryHandle`] over the shared sink — how
+    /// out-of-crate planners (e.g. `clockroute-flow`) emit their own
+    /// counters and events through the same sink a [`Planner`] uses.
+    pub fn handle(&self) -> TelemetryHandle<'_> {
+        TelemetryHandle::new(self.sink())
+    }
 }
 
 impl fmt::Debug for SharedTelemetry {
@@ -490,6 +505,37 @@ impl Planner {
     /// The current grid state (reflecting reservations made so far).
     pub fn graph(&self) -> &GridGraph {
         &self.graph
+    }
+
+    /// The planner's technology model.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The planner's gate library.
+    pub fn library(&self) -> &GateLibrary {
+        &self.lib
+    }
+
+    /// The per-attempt search budget ([`Planner::budget`]).
+    pub fn search_budget(&self) -> SearchBudget {
+        self.budget
+    }
+
+    /// Whether routed nets reserve their resources
+    /// ([`Planner::reserve_routes`]).
+    pub fn reserves_routes(&self) -> bool {
+        self.reserve_routes
+    }
+
+    /// Whether the degradation ladder is enabled ([`Planner::degrade`]).
+    pub fn degrades(&self) -> bool {
+        self.degrade
+    }
+
+    /// The attached telemetry sink, if any ([`Planner::telemetry`]).
+    pub fn telemetry_sink(&self) -> Option<&SharedTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Plans the nets in order. Failures are recorded, not fatal: a net

@@ -314,6 +314,37 @@ mod tests {
     }
 
     #[test]
+    fn capacities_separate_cache_entries() {
+        // Two scenarios equal in every respect except the capacity
+        // section must hash to distinct keys and keep distinct cached
+        // answers — a capacitated solve must never serve an
+        // unconstrained request or vice versa.
+        const BASE: &str = "die 10mm 10mm\ngrid 20 20\nnet comb name=a src=0,0 dst=19,19\n";
+        let open = parse(BASE).unwrap();
+        let capped = parse(&format!("{BASE}capacity default 1\n")).unwrap();
+        assert_ne!(scenario_key(&open), scenario_key(&capped));
+
+        let mut cache = ResultCache::new(4);
+        cache.insert(scenario_key(&open), base_key(&open), open.clone(), solved("open"));
+        cache.insert(
+            scenario_key(&capped),
+            base_key(&capped),
+            capped.clone(),
+            solved("capped"),
+        );
+        assert_eq!(report_of(&mut cache, &open).as_deref(), Some("open"));
+        assert_eq!(report_of(&mut cache, &capped).as_deref(), Some("capped"));
+        // Even a forged key cross-lookup is rejected structurally:
+        // same_base compares the capacity sections.
+        assert!(cache.lookup(scenario_key(&open), &capped).is_none());
+        // And warm-start never crosses a capacity change either — a
+        // capacitated request falls back to a cold solve.
+        let mut fresh = ResultCache::new(4);
+        fresh.insert(scenario_key(&open), base_key(&open), open, solved("open"));
+        assert!(fresh.find_warm(base_key(&capped), &capped, 1024).is_none());
+    }
+
+    #[test]
     fn collision_degrades_to_miss() {
         let mut cache = ResultCache::new(4);
         let s1 = scenario(2);

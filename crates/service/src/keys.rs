@@ -43,7 +43,7 @@ pub fn blocks_key(s: &Scenario) -> u64 {
 }
 
 fn write_base(h: &mut CanonHasher, s: &Scenario) {
-    h.write_str("clockroute.scenario.v1");
+    h.write_str("clockroute.scenario.v2");
     h.write_f64(s.floorplan.die_width().mm());
     h.write_f64(s.floorplan.die_height().mm());
     h.write_u32(s.grid.0);
@@ -51,6 +51,21 @@ fn write_base(h: &mut CanonHasher, s: &Scenario) {
     h.write_f64(s.tech.unit_res().ohms_per_um());
     h.write_f64(s.tech.unit_cap().ff_per_um());
     h.write_u8(u8::from(s.reserve));
+    match s.capacities.default_cap() {
+        None => h.write_u8(0),
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u32(c);
+        }
+    }
+    h.write_u64(s.capacities.override_count() as u64);
+    for ((ax, ay, bx, by), c) in s.capacities.overrides() {
+        h.write_u32(ax);
+        h.write_u32(ay);
+        h.write_u32(bx);
+        h.write_u32(by);
+        h.write_u32(c);
+    }
     h.write_u64(s.nets.len() as u64);
     for net in &s.nets {
         write_net(h, net);
@@ -121,6 +136,7 @@ pub fn same_base(a: &Scenario, b: &Scenario) -> bool {
         && a.tech == b.tech
         && a.floorplan.die_width() == b.floorplan.die_width()
         && a.floorplan.die_height() == b.floorplan.die_height()
+        && a.capacities == b.capacities
         && a.nets == b.nets
 }
 
@@ -247,6 +263,34 @@ mod tests {
         assert_ne!(scenario_key(&a), scenario_key(&b), "reserve mode");
         let b = parse(&BASE.replace("grid 20 20", "grid 20 20\ntech r=2.0 c=0.02")).unwrap();
         assert_ne!(scenario_key(&a), scenario_key(&b), "technology");
+    }
+
+    #[test]
+    fn capacities_reach_the_key() {
+        let a = parse(BASE).unwrap();
+        let capped = parse(&format!("{BASE}capacity default 2\n")).unwrap();
+        assert_ne!(scenario_key(&a), scenario_key(&capped), "default capacity");
+        assert_ne!(base_key(&a), base_key(&capped));
+        assert!(!same_base(&a, &capped));
+        // A different default, an override, and a tighter override all
+        // move the key again.
+        let tighter = parse(&format!("{BASE}capacity default 1\n")).unwrap();
+        assert_ne!(base_key(&capped), base_key(&tighter));
+        let edged = parse(&format!(
+            "{BASE}capacity default 2\ncapacity edge 0,0 1,0 1\n"
+        ))
+        .unwrap();
+        assert_ne!(base_key(&capped), base_key(&edged));
+        assert!(!same_base(&capped, &edged));
+        // Equal capacity sections agree regardless of how they were
+        // written (rect vs per-edge declarations).
+        let rect = parse(&format!("{BASE}capacity rect 0 3 3 3 1\n")).unwrap();
+        let edges = parse(&format!(
+            "{BASE}capacity edge 0,3 1,3 1\ncapacity edge 1,3 2,3 1\ncapacity edge 2,3 3,3 1\n"
+        ))
+        .unwrap();
+        assert_eq!(base_key(&rect), base_key(&edges));
+        assert!(same_base(&rect, &edges));
     }
 
     #[test]

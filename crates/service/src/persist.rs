@@ -48,6 +48,7 @@ use clockroute_core::{RouteError, RoutedPath, SearchStage, TouchedRegion};
 use clockroute_elmore::{GateLibrary, Technology};
 use clockroute_geom::units::{CapPerLength, Length, ResPerLength, Time};
 use clockroute_geom::{BlockKind, Floorplan, Point, Rect};
+use clockroute_grid::EdgeCapacities;
 use clockroute_plan::{Degradation, NetKind, NetResult, NetSpec, TracedPlan};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -58,7 +59,8 @@ use std::time::Duration;
 /// files then fail the magic check and are recovered as empty).
 const MAGIC: &[u8; 8] = b"CRSNAP1\n";
 /// Per-entry payload version, checked before any field is trusted.
-const ENTRY_VERSION: u8 = 1;
+/// v2 added the scenario's edge-capacity section.
+const ENTRY_VERSION: u8 = 2;
 /// Upper bound on one record; anything larger is treated as a torn or
 /// corrupt length prefix and ends replay.
 const MAX_RECORD: usize = 64 << 20;
@@ -142,6 +144,7 @@ fn stage_tag(s: SearchStage) -> u8 {
         SearchStage::Rbp => 1,
         SearchStage::Gals => 2,
         SearchStage::Latch => 3,
+        SearchStage::Flow => 4,
     }
 }
 
@@ -189,6 +192,21 @@ fn put_scenario(out: &mut Vec<u8>, s: &Scenario) {
     put_f64(out, s.tech.unit_res().ohms_per_um());
     put_f64(out, s.tech.unit_cap().ff_per_um());
     out.push(u8::from(s.reserve));
+    match s.capacities.default_cap() {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_u32(out, c);
+        }
+    }
+    put_u32(out, s.capacities.override_count() as u32);
+    for ((ax, ay, bx, by), c) in s.capacities.overrides() {
+        put_u32(out, ax);
+        put_u32(out, ay);
+        put_u32(out, bx);
+        put_u32(out, by);
+        put_u32(out, c);
+    }
     put_u32(out, s.floorplan.blocks().len() as u32);
     for b in s.floorplan.blocks() {
         out.push(block_kind_tag(b.kind));
@@ -387,6 +405,7 @@ fn decode_error(c: &mut Cursor<'_>) -> Decode<RouteError> {
                 1 => SearchStage::Rbp,
                 2 => SearchStage::Gals,
                 3 => SearchStage::Latch,
+                4 => SearchStage::Flow,
                 _ => return Err(()),
             };
             RouteError::BudgetExceeded {
@@ -424,8 +443,23 @@ fn decode_scenario(c: &mut Cursor<'_>) -> Decode<Scenario> {
         1 => true,
         _ => return Err(()),
     };
-    let mut floorplan = Floorplan::new(Length::from_mm(die_w), Length::from_mm(die_h));
     let in_grid = |p: Point| p.x < grid.0 && p.y < grid.1;
+    let mut capacities = EdgeCapacities::new();
+    match c.u8()? {
+        0 => {}
+        1 => capacities.set_default(c.u32()?),
+        _ => return Err(()),
+    }
+    let ncaps = c.count(20)?;
+    for _ in 0..ncaps {
+        let a = c.point()?;
+        let b = c.point()?;
+        if !in_grid(a) || !in_grid(b) || !a.is_adjacent(b) {
+            return Err(());
+        }
+        capacities.set_edge(a, b, c.u32()?);
+    }
+    let mut floorplan = Floorplan::new(Length::from_mm(die_w), Length::from_mm(die_h));
     let nblocks = c.count(13)?;
     for _ in 0..nblocks {
         let kind = match c.u8()? {
@@ -493,6 +527,7 @@ fn decode_scenario(c: &mut Cursor<'_>) -> Decode<Scenario> {
         ),
         nets,
         reserve,
+        capacities,
     })
 }
 

@@ -1,0 +1,25 @@
+# Congested bridges: a wiring wall splits the die, crossable only at
+# three gaps (y = 1, 4, 7). All three nets sit nearest the middle gap,
+# so order-driven planning funnels every net through it and overflows
+# the capacity-1 crossing edges; `--flow` prices the middle bridge up
+# until the outer nets detour to the side gaps:
+#
+#   crplan scenarios/flow_bridges.cr --flow
+die 9mm 9mm
+grid 9 9
+tech paper
+reserve off
+
+# The wall: a two-column hard band (so the crossing edges between its
+# columns are removed) with gaps at rows 1, 4 and 7.
+block hard 4 0 5 0
+block hard 4 2 5 3
+block hard 4 5 5 6
+block hard 4 8 5 8
+
+# Every edge in the three-column band around the wall carries one net.
+capacity rect 3 0 5 8 1
+
+net comb name=north src=0,5 dst=8,5
+net comb name=mid   src=0,4 dst=8,4
+net comb name=south src=0,3 dst=8,3

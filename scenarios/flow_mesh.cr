@@ -1,0 +1,18 @@
+# Congested mesh: two identical horizontal nets cross two identical
+# vertical nets on a unit-capacity grid. Order-driven planning routes
+# each pair onto the same shortest row/column (overflowing every edge
+# they share); `--flow` separates the pairs onto adjacent tracks —
+# crossing at a node is free, sharing an edge is not:
+#
+#   crplan scenarios/flow_mesh.cr --flow
+die 9mm 9mm
+grid 9 9
+tech paper
+reserve off
+
+capacity default 1
+
+net comb name=h0 src=0,4 dst=8,4
+net comb name=h1 src=0,4 dst=8,4
+net comb name=v0 src=4,0 dst=4,8
+net comb name=v1 src=4,0 dst=4,8

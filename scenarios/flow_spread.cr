@@ -1,0 +1,20 @@
+# Congested spread: three identical-terminal nets over a channel whose
+# every edge carries at most one net. Order-driven planning stacks all
+# three on the same centre row (each per-net search is independently
+# optimal), overflowing the shared edges; `--flow` spreads them onto
+# three distinct rows with zero overflow:
+#
+#   crplan scenarios/flow_spread.cr --flow
+#
+# `reserve off` so the sequential baseline is allowed to overlap —
+# this scenario measures congestion awareness, not reservation.
+die 7mm 5mm
+grid 7 5
+tech paper
+reserve off
+
+capacity default 1
+
+net comb name=s0 src=0,2 dst=6,2
+net comb name=s1 src=0,2 dst=6,2
+net comb name=s2 src=0,2 dst=6,2

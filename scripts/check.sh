@@ -23,10 +23,19 @@ sh scripts/tsan.sh
 # Differential fuzz suite against the exhaustive oracles (fixed seeds,
 # so a failure here reproduces exactly; see tests/differential.rs).
 cargo test --release -q --test differential
+# Flow-mode differential/metamorphic suite: uncongested scenarios must
+# delegate byte-identically to the sequential planner, and the
+# capacity-relaxation and net-permutation invariants must hold (see
+# crates/flow/tests/flow_differential.rs and DESIGN.md §17).
+cargo test --release -q -p clockroute-flow --test flow_differential
 # Substrate performance gate: re-run the arena engine on small grids and
 # fail if pops regressed >10% against the last BENCH_core.json rows
 # (bootstrap runs with no baseline pass; see DESIGN.md §15).
 cargo run --release -p clockroute-bench --bin corebench -- --check
+# Flow quality gate: on every shipped congested scenario the flow
+# planner must route all nets with strictly less overflow than the
+# order-driven sequential plan (see DESIGN.md §17).
+cargo run --release -p clockroute-bench --bin flowbench -- --check
 # Service smoke: one crserve session through every answer path, JSONL
 # validation, and the exit-code contract (see DESIGN.md §12).
 sh scripts/serve_smoke.sh

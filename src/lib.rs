@@ -29,6 +29,7 @@
 //! | algorithms | [`core`] | fast path, RBP, GALS, latch extension, oracles |
 //! | protocol | [`sim`] | discrete-event simulation of the synthesized routes |
 //! | planning | [`plan`] | sequential multi-net planning with resource reservation |
+//! | batch routing | [`flow`] | congestion-aware multicommodity-flow batch mode |
 //! | trees | [`tree`] | Cocchini-style register/repeater insertion on routing trees |
 //!
 //! # Quick start
@@ -62,6 +63,7 @@
 pub use clockroute_core as core;
 pub use clockroute_elmore as elmore;
 pub use clockroute_geom as geom;
+pub use clockroute_flow as flow;
 pub use clockroute_grid as grid;
 pub use clockroute_plan as plan;
 pub use clockroute_tree as tree;
